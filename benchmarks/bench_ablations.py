@@ -1,0 +1,79 @@
+"""Section IV ablations: dedup optimization, HEC variants, GOSH-HEC.
+
+Paper numbers: the degree-based dedup sweep saves 25.7x on kron21's
+construction (scale-dependent; ~1.3-3x at our 1/1000 scale); HEC beats
+HEC3 by 1.13x and HEC2 by 1.21x in time with 1.26x / 1.56x fewer
+levels; 99.4% / 96.7% of vertices resolve within two passes on the
+first two coarsening levels; the GOSH-HEC hybrid is 1.46x faster than
+GOSH with 1.18x fewer levels.
+"""
+
+from repro.bench.experiments import ablation_dedup, ablation_gosh_hec, ablation_hec_variants
+from repro.bench.report import format_table, geomean
+
+from conftest import fmt_summary, run_once, show
+
+
+def test_ablation_dedup(benchmark):
+    def run():
+        return {g: ablation_dedup(graph=g) for g in ("kron21", "ic04", "Orkut", "HV15R")}
+
+    out = run_once(benchmark, run)
+    show(
+        "Degree-based dedup optimization (construction speedup; paper: 25.7x on kron21 at paper scale)\n"
+        + "\n".join(f"  {g:10s} {r['speedup']:.2f}x" for g, r in out.items())
+    )
+    assert out["Orkut"]["speedup"] > 1.5
+    assert out["kron21"]["speedup"] > 1.1
+    assert out["HV15R"]["speedup"] == 1.0  # never engages on regular meshes
+
+
+def test_ablation_hec_variants(benchmark):
+    rows, summary = run_once(benchmark, ablation_hec_variants)
+    show(
+        format_table(
+            rows,
+            [
+                ("graph", "Graph", "s"),
+                ("hec2_time_ratio", "t HEC2/HEC", ".2f"),
+                ("hec3_time_ratio", "t HEC3/HEC", ".2f"),
+                ("hec2_level_ratio", "l HEC2/HEC", ".2f"),
+                ("hec3_level_ratio", "l HEC3/HEC", ".2f"),
+                ("frac_two_passes_l1", "2-pass frac L1", ".3f"),
+                ("frac_two_passes_l2", "2-pass frac L2", ".3f"),
+            ],
+            title="HEC vs HEC2 vs HEC3 (paper: 1.21x / 1.13x time, 1.56x / 1.26x levels)",
+        )
+        + "\n"
+        + fmt_summary(summary)
+    )
+    # HEC2 (no 2-cycle collapse) coarsens slowest: more levels, more time.
+    # HEC3 lands between HEC and HEC2 (at our scale its level count ties
+    # HEC on the unweighted meshes; the paper at full scale measured
+    # 1.26x -- see EXPERIMENTS.md)
+    assert summary["hec2_level_ratio"]["all"] > 1.1
+    assert summary["hec2_level_ratio"]["all"] >= summary["hec3_level_ratio"]["all"]
+    assert summary["hec2_time_ratio"]["all"] > 1.1
+    assert summary["hec3_time_ratio"]["all"] > 0.95
+    # the pass statistic: the vast majority resolves within two passes
+    fracs = [r["frac_two_passes_l1"] for r in rows if r["frac_two_passes_l1"] is not None]
+    assert geomean(fracs) > 0.9
+
+
+def test_ablation_gosh_hec(benchmark):
+    rows, summary = run_once(benchmark, ablation_gosh_hec)
+    show(
+        format_table(
+            rows,
+            [
+                ("graph", "Graph", "s"),
+                ("speedup", "t GOSH/hybrid", ".2f"),
+                ("level_ratio", "l GOSH/hybrid", ".2f"),
+            ],
+            title="GOSH-HEC hybrid vs GOSH (paper: 1.46x faster, 1.18x fewer levels)",
+        )
+        + "\n"
+        + fmt_summary(summary)
+    )
+    # the hybrid is faster than GOSH overall
+    assert summary["speedup"]["all"] > 1.0

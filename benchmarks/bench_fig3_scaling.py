@@ -1,0 +1,68 @@
+"""Figure 3: HEC performance rates, GPU/CPU speedup, weak scaling.
+
+Paper shape: (left) GPU rates fall in a narrow band with no outliers;
+(center) GPU beats the 32-core CPU by ~2.4x geomean (transfer excluded);
+(right) rates grow with size, kron trails rgg/delaunay.
+"""
+
+from repro.bench.experiments import fig3_center, fig3_left, fig3_right
+from repro.bench.report import format_table, geomean
+
+from conftest import fmt_summary, run_once, show
+
+
+def test_fig3_left_gpu_rates(benchmark):
+    rows, summary = run_once(benchmark, fig3_left)
+    show(
+        format_table(
+            rows,
+            [
+                ("graph", "Graph", "s"),
+                ("size", "2m+n", "d"),
+                ("rate", "rate (elem/s)", ".3e"),
+            ],
+            title="Fig 3 (left) - GPU HEC performance rate",
+        )
+        + "\n"
+        + fmt_summary(summary)
+    )
+    # "the performance rates for the graphs fall within a relatively
+    # narrow band": max/min within ~one order of magnitude
+    assert summary["band"] < 12.0
+
+
+def test_fig3_center_speedup(benchmark):
+    rows, summary = run_once(benchmark, fig3_center)
+    show(
+        format_table(
+            rows,
+            [("graph", "Graph", "s"), ("speedup", "GPU/CPU", ".2f")],
+            title="Fig 3 (center) - GPU speedup over 32-core CPU (paper geomean 2.4x)",
+        )
+        + "\n"
+        + fmt_summary(summary)
+    )
+    assert 1.5 < summary["speedup"]["all"] < 3.5
+    assert all(r["speedup"] > 1.0 for r in rows)  # GPU wins everywhere
+
+
+def test_fig3_right_weak_scaling(benchmark):
+    rows, summary = run_once(benchmark, fig3_right)
+    show(
+        format_table(
+            rows,
+            [
+                ("graph", "Graph", "s"),
+                ("family", "family", "s"),
+                ("scale", "scale", "d"),
+                ("rate", "rate (elem/s)", ".3e"),
+            ],
+            title="Fig 3 (right) - weak scaling (rgg / delaunay / kron)",
+        )
+        + "\n"
+        + fmt_summary(summary)
+    )
+    # regular families outperform kron (load balance in adjacency steps)
+    assert summary["kron_below_regular"]
+    # performance grows with graph size on the GPU
+    assert sum(summary["rates_grow"].values()) >= 2

@@ -1,0 +1,51 @@
+"""Table V: multilevel spectral bisection on the GPU.
+
+Paper shape: coarsening takes ~46% (regular) / ~24% (skewed) of the
+partitioning time; cut ratios of HEM / mt-Metis coarsening scatter away
+from 1 (misconvergence on hard instances); HEM OOMs on the largest
+skewed graphs.
+"""
+
+from repro.bench.experiments import table5
+from repro.bench.report import format_table
+
+from conftest import fmt_summary, run_once, show
+
+
+def test_table5_spectral_bisection(benchmark):
+    rows, summary = run_once(benchmark, table5, seeds=(0, 1, 2))
+    show(
+        format_table(
+            rows,
+            [
+                ("graph", "Graph", "s"),
+                ("time_s", "time (sim s)", ".2e"),
+                ("coarsen_pct", "%Coa", ".0f"),
+                ("cut", "edge cut", ".0f"),
+                ("hem_cut_ratio", "cut HEM/HEC", ".2f"),
+                ("mtmetis_cut_ratio", "cut mtM/HEC", ".2f"),
+            ],
+            title="Table V - GPU spectral bisection (paper: %Coa 46/24; ratios scatter from 1)",
+        )
+        + "\n"
+        + fmt_summary(summary)
+    )
+    # coarsening is a substantial share of partitioning time
+    assert 20 < summary["coarsen_pct"]["regular"] < 80
+    # every completed run produced a balanced valid cut
+    assert all(r["cut"] is not None and r["cut"] >= 0 for r in rows)
+    # HEM OOMs on at least one large skewed instance (paper: ic04 etc.)
+    assert any(r["hem_cut_ratio"] is None for r in rows if r["group"] == "skewed")
+
+
+def test_wallclock_power_iteration(benchmark):
+    """Wall-clock of the SpMV-bound Fiedler refinement at one level."""
+    import numpy as np
+
+    from repro.bench.harness import corpus_graph
+    from repro.parallel import gpu_space
+    from repro.partition import fiedler_power_iteration
+
+    g, _ = corpus_graph("delaunay24")
+    x0 = np.random.default_rng(0).standard_normal(g.n)
+    benchmark(lambda: fiedler_power_iteration(g, gpu_space(0), x0=x0, max_iters=15))

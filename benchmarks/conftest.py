@@ -1,0 +1,38 @@
+"""Shared helpers for the per-table benchmark suites.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it runs the experiment once under ``benchmark.pedantic`` (wall-clock of
+the full vectorised pipeline), prints the reproduced table next to the
+paper's numbers, and asserts the paper's *shape* claims (who wins, by
+roughly what factor).  Simulated times come from the machine cost
+models; wall times measure this library's NumPy kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture and return its
+    result (full experiments are too heavy for multi-round timing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(text: str) -> None:
+    """Print with a separator so tables stand out in pytest -s output."""
+    print("\n" + text + "\n")
+
+
+def fmt_summary(summary: dict, digits: int = 2) -> str:
+    lines = []
+    for key, groups in summary.items():
+        if isinstance(groups, dict):
+            parts = ", ".join(
+                f"{g}={v:.{digits}f}" if isinstance(v, float) else f"{g}={v}"
+                for g, v in groups.items()
+            )
+            lines.append(f"  {key}: {parts}")
+        else:
+            lines.append(f"  {key}: {groups}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Figure 1: coarse graphs produced by each method on one small graph.
+
+Run:  python examples/coarsen_visualize.py [out_dir]
+
+Coarsens a small random geometric graph one level with every registered
+algorithm, prints the aggregate structure, and writes a Graphviz DOT
+file per method (fine vertices coloured by their coarse aggregate) so
+the differences between matching (HEM), unconstrained aggregation (HEC),
+and distance-2 independent sets (MIS2) are visible — the content of the
+paper's Fig. 1.
+"""
+
+import sys
+from pathlib import Path
+
+from repro import available_coarseners, get_coarsener, gpu_space
+from repro.coarsen import mapping_quality
+from repro.construct import construct_sort
+from repro.generators import random_geometric
+
+PALETTE = [
+    "lightblue", "salmon", "palegreen", "gold", "plum", "khaki",
+    "lightcyan", "orange", "pink", "lightgrey",
+]
+
+
+def to_dot(g, mapping, path: Path) -> None:
+    lines = ["graph coarse {", "  node [style=filled];"]
+    for u in range(g.n):
+        color = PALETTE[int(mapping.m[u]) % len(PALETTE)]
+        lines.append(f'  {u} [fillcolor="{color}" label="{u}|{int(mapping.m[u])}"];')
+    src, dst, w = g.to_coo()
+    for a, b, wt in zip(src, dst, w):
+        if a < b:
+            lines.append(f"  {a} -- {b};")
+    lines.append("}")
+    path.write_text("\n".join(lines))
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("fig1_out")
+    out_dir.mkdir(exist_ok=True)
+    g = random_geometric(48, avg_degree=5, seed=7).with_name("fig1")
+    print(f"fine graph: n={g.n} m={g.m}\n")
+    print(f"{'method':10s} {'n_c':>4s} {'ratio':>6s} {'max agg':>8s} "
+          f"{'contracted wgt':>15s} {'coarse m':>9s}")
+
+    for name in available_coarseners():
+        mapping = get_coarsener(name)(g, gpu_space(seed=1))
+        coarse = construct_sort(g, mapping, gpu_space(seed=1))
+        q = mapping_quality(g, mapping)
+        print(f"{name:10s} {mapping.n_c:4d} {q['coarsening_ratio']:6.2f} "
+              f"{q['max_aggregate']:8d} {q['contracted_fraction']:15.2%} "
+              f"{coarse.m:9d}")
+        to_dot(g, mapping, out_dir / f"{name}.dot")
+
+    print(f"\nDOT files in {out_dir}/ — render with: dot -Tpng {out_dir}/hec.dot -o hec.png")
+
+
+if __name__ == "__main__":
+    main()

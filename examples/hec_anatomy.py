@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Figure 2: the anatomy of a sequential HEC execution.
+
+Run:  python examples/hec_anatomy.py
+
+Builds a small weighted graph, replays sequential HEC (Algorithm 3),
+and prints the classification of every heavy edge as *create* / *inherit*
+/ *skip* (Fig. 2 left) plus the heavy-neighbour digraph, which is a
+pseudoforest: every vertex has out-degree exactly one (Fig. 2 right).
+Then it contrasts the lock-free parallel execution (Algorithm 4) pass
+statistics on a larger graph.
+"""
+
+from repro import gpu_space, serial_space
+from repro.coarsen import classify_heavy_edges, hec_parallel
+from repro.generators import random_geometric
+
+
+def main() -> None:
+    g = random_geometric(24, avg_degree=4, seed=3)
+    out = classify_heavy_edges(g, serial_space(seed=5))
+
+    print("heavy-edge classification (sequential Algorithm 3):")
+    for (u, v), label in sorted(out["labels"].items()):
+        print(f"  ({u:2d} -> {v:2d})  {label}")
+    c = out["counts"]
+    print(f"\ncounts: create={c['create']}  inherit={c['inherit']}  skip={c['skip']}")
+    print(f"coarse vertices: {out['mapping'].n_c} "
+          f"(= number of create edges, each create opens one aggregate)")
+
+    print("\nheavy-neighbour digraph (pseudoforest; every out-degree is 1):")
+    for u, v in out["heavy_digraph"]:
+        print(f"  {u:2d} -> {v:2d}")
+
+    # parallel execution on something larger: pass-resolution statistics
+    big = random_geometric(4000, avg_degree=8, seed=1)
+    mp = hec_parallel(big, gpu_space(seed=0))
+    rpp = mp.stats["resolved_per_pass"]
+    total = sum(rpp)
+    print(f"\nlock-free parallel HEC on n={big.n}: {mp.stats['passes']} passes")
+    for i, r in enumerate(rpp, 1):
+        print(f"  pass {i}: resolved {r:5d} ({r / total:6.1%})")
+    print(f"two-pass fraction: {sum(rpp[:2]) / total:.1%} "
+          f"(paper, Section IV-A: 99.4% on the first coarsening level)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare multilevel partitioners on one corpus graph (Table V/VI style).
+
+Run:  python examples/partition_compare.py [graph-name] [n-seeds]
+
+Runs the paper's partitioner (HEC coarsening + spectral or FM
+refinement, GPU model) against the Metis-recipe baselines, reporting
+median edge cuts over several seeds, simulated times, and the share of
+time spent in coarsening.
+"""
+
+import sys
+
+from repro import gpu_space, metis_like, mtmetis_like
+from repro.bench import median, run_partition
+from repro.generators import load
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "products"
+    seeds = range(int(sys.argv[2]) if len(sys.argv) > 2 else 3)
+    g, spec = load(name)
+    print(f"graph {g.name}: n={g.n} m={g.m} group={spec.group}\n")
+    print(f"{'pipeline':26s} {'median cut':>12s} {'sim time':>12s} {'%coarsen':>9s}")
+
+    rows = []
+    for coarsener in ("hec", "hem", "mtmetis"):
+        for refinement in ("spectral", "fm"):
+            runs = [
+                run_partition(g, spec, machine="gpu", coarsener=coarsener,
+                              refinement=refinement, seed=s)
+                for s in seeds
+            ]
+            ok = [r for r in runs if not r["oom"]]
+            label = f"{coarsener}+{refinement} (GPU)"
+            if not ok:
+                print(f"{label:26s} {'OOM':>12s}")
+                continue
+            cut = median([r["cut"] for r in ok])
+            t = median([r["total_s"] for r in ok])
+            pc = median([r["coarsen_pct"] for r in ok])
+            print(f"{label:26s} {cut:12.0f} {t:11.2e}s {pc:8.0f}%")
+
+    for fn, label in ((metis_like, "metis-like (CPU)"), (mtmetis_like, "mtmetis-like (CPU)")):
+        results = [fn(g, seed=s) for s in seeds]
+        cut = median([r.cut for r in results])
+        t = median([r.stats["sim_seconds"] for r in results])
+        print(f"{label:26s} {cut:12.0f} {t:11.2e}s")
+
+
+if __name__ == "__main__":
+    main()

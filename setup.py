@@ -1,0 +1,12 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so PEP-517 editable installs fail; plain `pip install -e .` uses this."""
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

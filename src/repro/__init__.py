@@ -1,0 +1,75 @@
+"""repro — Performance-Portable Graph Coarsening for Multilevel Graph Analysis.
+
+A from-scratch reproduction of Gilbert, Acer, Boman, Madduri &
+Rajamanickam (IPDPS 2021): parallel graph coarsening algorithms (HEC and
+friends), coarse-graph construction strategies, and multilevel spectral /
+FM graph bisection, on a performance-portable execution substrate with
+GPU and multicore cost models.
+
+Quick start::
+
+    from repro import generators, gpu_space, coarsen_multilevel, multilevel_bisect
+
+    g, spec = generators.load("rgg24")
+    hierarchy = coarsen_multilevel(g, gpu_space(seed=0), coarsener="hec")
+    result = multilevel_bisect(g, gpu_space(seed=0), refinement="fm")
+    print(result.cut, hierarchy.levels)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from . import csr, generators, parallel, sparse
+from .coarsen import (
+    CoarseMapping,
+    GraphHierarchy,
+    available_coarseners,
+    coarsen_multilevel,
+    get_coarsener,
+)
+from .construct import available_constructors, get_constructor
+from .csr import CSRGraph, from_edge_list
+from .parallel import (
+    RYZEN32_CPU,
+    TURING_GPU,
+    CostLedger,
+    ExecSpace,
+    MemoryTracker,
+    SimulatedOOM,
+    cpu_space,
+    gpu_space,
+    serial_space,
+)
+from .partition import PartitionResult, edge_cut, metis_like, mtmetis_like, multilevel_bisect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "CoarseMapping",
+    "GraphHierarchy",
+    "coarsen_multilevel",
+    "available_coarseners",
+    "get_coarsener",
+    "available_constructors",
+    "get_constructor",
+    "multilevel_bisect",
+    "PartitionResult",
+    "edge_cut",
+    "metis_like",
+    "mtmetis_like",
+    "ExecSpace",
+    "gpu_space",
+    "cpu_space",
+    "serial_space",
+    "CostLedger",
+    "MemoryTracker",
+    "SimulatedOOM",
+    "TURING_GPU",
+    "RYZEN32_CPU",
+    "csr",
+    "generators",
+    "parallel",
+    "sparse",
+]

@@ -1,0 +1,17 @@
+"""Benchmark harness: per-table experiment drivers and reporting."""
+
+from . import experiments
+from .harness import corpus_graph, run_coarsening, run_partition, space_for
+from .report import format_table, geomean, median, ratio
+
+__all__ = [
+    "experiments",
+    "run_coarsening",
+    "run_partition",
+    "corpus_graph",
+    "space_for",
+    "geomean",
+    "median",
+    "ratio",
+    "format_table",
+]

@@ -1,0 +1,152 @@
+"""Experiment runners: coarsening and partitioning with full accounting.
+
+These are the building blocks the per-table experiment functions
+(:mod:`repro.bench.experiments`) compose: each runner executes a
+configured pipeline on one corpus graph, under one machine model, with
+the memory/OOM simulation active, and returns a flat result dict of
+simulated times, phase splits, and hierarchy statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coarsen.multilevel import coarsen_multilevel
+from ..csr.graph import CSRGraph
+from ..parallel.execspace import ExecSpace, cpu_space, gpu_space
+from ..parallel.memory import MemoryTracker, SimulatedOOM
+from ..partition.multilevel import multilevel_bisect
+from ..generators.corpus import GraphSpec, load, memory_scale
+
+__all__ = ["space_for", "run_coarsening", "run_partition", "corpus_graph"]
+
+
+def space_for(machine: str, seed: int = 0) -> ExecSpace:
+    """``"gpu"`` or ``"cpu"`` execution space with a fresh ledger."""
+    if machine == "gpu":
+        return gpu_space(seed)
+    if machine == "cpu":
+        return cpu_space(seed)
+    raise ValueError(f"unknown machine {machine!r}")
+
+
+def corpus_graph(name: str, seed: int = 0) -> tuple[CSRGraph, GraphSpec]:
+    """Load one corpus graph (cached on disk)."""
+    return load(name, seed)
+
+
+def _tracker(g: CSRGraph, spec: GraphSpec | None, space: ExecSpace, algorithm: str, oom: bool) -> MemoryTracker:
+    if spec is None or not oom:
+        return MemoryTracker.null()
+    return MemoryTracker(
+        space.machine.memory_bytes,
+        scale=memory_scale(g, spec),
+        algorithm=algorithm,
+        graph=g.name,
+    )
+
+
+def run_coarsening(
+    g: CSRGraph,
+    spec: GraphSpec | None = None,
+    *,
+    machine: str = "gpu",
+    coarsener: str = "hec",
+    constructor: str = "sort",
+    seed: int = 0,
+    oom: bool = True,
+) -> dict:
+    """One multilevel coarsening run; returns Table II/III/IV quantities.
+
+    On a simulated OOM the dict carries ``oom=True`` and ``None`` times —
+    exactly the information the paper's OOM table cells convey.
+    """
+    space = space_for(machine, seed)
+    tracker = _tracker(g, spec, space, coarsener, oom)
+    base = {
+        "graph": g.name,
+        "machine": machine,
+        "coarsener": coarsener,
+        "constructor": constructor,
+        "seed": seed,
+    }
+    try:
+        hierarchy = coarsen_multilevel(
+            g, space, coarsener=coarsener, constructor=constructor, tracker=tracker
+        )
+    except SimulatedOOM:
+        return {**base, "oom": True, "total_s": None, "construction_s": None,
+                "mapping_s": None, "levels": None, "cr": None}
+    mach = space.machine
+    mapping_s = mach.phase_seconds(space.ledger, "mapping")
+    construction_s = mach.phase_seconds(space.ledger, "construction")
+    transfer_s = mach.phase_seconds(space.ledger, "transfer")
+    return {
+        **base,
+        "oom": False,
+        "mapping_s": mapping_s,
+        "construction_s": construction_s,
+        "transfer_s": transfer_s,
+        "total_s": mapping_s + construction_s + transfer_s,
+        "compute_s": mapping_s + construction_s,  # Fig. 3: transfer excluded
+        "grco_pct": 100.0 * construction_s / max(mapping_s + construction_s, 1e-300),
+        "levels": hierarchy.levels,
+        "cr": hierarchy.coarsening_ratio(),
+        "coarsest_n": hierarchy.coarsest.n,
+        "peak_mem": tracker.peak,
+        "hierarchy": hierarchy,
+    }
+
+
+def run_partition(
+    g: CSRGraph,
+    spec: GraphSpec | None = None,
+    *,
+    machine: str = "gpu",
+    coarsener: str = "hec",
+    constructor: str = "sort",
+    refinement: str = "spectral",
+    seed: int = 0,
+    oom: bool = True,
+) -> dict:
+    """One multilevel bisection run; returns Table V/VI quantities."""
+    space = space_for(machine, seed)
+    tracker = _tracker(g, spec, space, coarsener, oom)
+    base = {
+        "graph": g.name,
+        "machine": machine,
+        "coarsener": coarsener,
+        "refinement": refinement,
+        "seed": seed,
+    }
+    try:
+        res = multilevel_bisect(
+            g,
+            space,
+            coarsener=coarsener,
+            constructor=constructor,
+            refinement=refinement,
+            tracker=tracker,
+        )
+    except SimulatedOOM:
+        return {**base, "oom": True, "cut": None, "total_s": None, "coarsen_pct": None}
+    mach = space.machine
+    mapping_s = mach.phase_seconds(space.ledger, "mapping")
+    construction_s = mach.phase_seconds(space.ledger, "construction")
+    transfer_s = mach.phase_seconds(space.ledger, "transfer")
+    initial_s = mach.phase_seconds(space.ledger, "initial")
+    refine_s = mach.phase_seconds(space.ledger, "refinement")
+    coarsen_s = mapping_s + construction_s + transfer_s
+    total_s = coarsen_s + initial_s + refine_s
+    return {
+        **base,
+        "oom": False,
+        "cut": res.cut,
+        "imbalance": res.stats["imbalance"],
+        "total_s": total_s,
+        "coarsen_s": coarsen_s,
+        "refine_s": initial_s + refine_s,
+        "coarsen_pct": 100.0 * coarsen_s / max(total_s, 1e-300),
+        "levels": res.levels,
+        "result": res,
+    }

@@ -1,0 +1,69 @@
+"""Result aggregation and table formatting for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["geomean", "median", "format_table", "ratio"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, skipping non-finite entries (OOM rows etc.)."""
+    vals = [v for v in values if v is not None and math.isfinite(v) and v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def median(values: Iterable[float]) -> float:
+    vals = sorted(v for v in values if v is not None and math.isfinite(v))
+    if not vals:
+        return float("nan")
+    k = len(vals)
+    mid = k // 2
+    return vals[mid] if k % 2 else 0.5 * (vals[mid - 1] + vals[mid])
+
+
+def ratio(num: float | None, den: float | None) -> float | None:
+    """num/den, propagating OOM (None) and guarding zero denominators."""
+    if num is None or den is None or den == 0:
+        return None
+    return num / den
+
+
+def _fmt(v, spec: str) -> str:
+    if v is None:
+        return "OOM"
+    if isinstance(v, float) and math.isnan(v):
+        return "-"
+    try:
+        return format(v, spec)
+    except (TypeError, ValueError):
+        return str(v)
+
+
+def format_table(
+    rows: list[dict],
+    columns: list[tuple[str, str, str]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned text table.
+
+    ``columns`` is ``[(key, header, format_spec), ...]``; ``None`` cell
+    values render as ``OOM`` (the paper's out-of-memory marker).
+    """
+    header = "  ".join(h.rjust(max(len(h), 9)) if i else h.ljust(14)
+                       for i, (_, h, _s) in enumerate(columns))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for i, (key, h, spec) in enumerate(columns):
+            text = _fmt(row.get(key), spec)
+            cells.append(text.ljust(14) if i == 0 else text.rjust(max(len(h), 9)))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Coarse-mapping algorithms (Section III-A) and the multilevel driver.
+
+Importing this package registers every coarsener:
+
+====================  =====================================================
+name                  algorithm
+====================  =====================================================
+``hec``               lock-free parallel Heavy Edge Coarsening (Alg. 4)
+``hec2``              race-free HEC without 2-cycle collapse (Alg. 9 [19])
+``hec3``              pseudoforest-root HEC (Alg. 5)
+``hem``               parallel Heavy Edge Matching (Alg. 10 [19])
+``mtmetis``           HEM + leaves/twins/relatives two-hop (Algs. 11-13)
+``mis2``              distance-2 MIS aggregation (Bell et al.)
+``gosh``              degree-ordered MIS-style aggregation (Alg. 15 [19])
+``gosh_hec``          weight-aware GOSH-HEC hybrid (Alg. 16 [19])
+``suitor``            Suitor 1/2-approx weighted matching (future work §V)
+====================  =====================================================
+
+ACE weighted aggregation (many-to-many; Section II) lives in
+:mod:`repro.coarsen.ace` outside the registry — its interpolation matrix
+does not fit the strict-aggregation :class:`CoarseMapping` interface.
+"""
+
+from .base import (
+    CoarseMapping,
+    Coarsener,
+    available_coarseners,
+    get_coarsener,
+    register_coarsener,
+)
+from .gosh import gosh_coarsen, gosh_hec_coarsen
+from .hec import classify_heavy_edges, heavy_neighbors, hec_parallel, hec_serial
+from .hec_variants import hec2, hec3
+from .hem import hem_parallel, hem_serial, unmatched_heavy_neighbors
+from .mapping import is_matching, mapping_quality, pointer_jump, relabel, validate_mapping
+from .mis2 import distance2_mis, mis2_coarsen
+from .mtmetis import TWOHOP_THRESHOLD, mtmetis_coarsen
+from .suitor import suitor_coarsen, suitor_matching
+from .ace import ace_coarsen, ace_interpolation, ace_select_representatives
+from .multilevel import MAX_LEVELS, GraphHierarchy, coarsen_multilevel
+from .twohop import match_leaves, match_relatives, match_twins
+
+__all__ = [
+    "CoarseMapping",
+    "Coarsener",
+    "available_coarseners",
+    "get_coarsener",
+    "register_coarsener",
+    "hec_parallel",
+    "hec_serial",
+    "heavy_neighbors",
+    "classify_heavy_edges",
+    "hec2",
+    "hec3",
+    "hem_parallel",
+    "hem_serial",
+    "unmatched_heavy_neighbors",
+    "mtmetis_coarsen",
+    "TWOHOP_THRESHOLD",
+    "match_leaves",
+    "match_twins",
+    "match_relatives",
+    "mis2_coarsen",
+    "distance2_mis",
+    "gosh_coarsen",
+    "gosh_hec_coarsen",
+    "validate_mapping",
+    "is_matching",
+    "mapping_quality",
+    "relabel",
+    "pointer_jump",
+    "GraphHierarchy",
+    "coarsen_multilevel",
+    "MAX_LEVELS",
+    "suitor_coarsen",
+    "suitor_matching",
+    "ace_coarsen",
+    "ace_interpolation",
+    "ace_select_representatives",
+]

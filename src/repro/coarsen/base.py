@@ -1,0 +1,95 @@
+"""Coarsener protocol, mapping result type, and the algorithm registry.
+
+Every coarse-mapping algorithm in the paper (Section III-A) is exposed as
+a callable ``(CSRGraph, ExecSpace) -> CoarseMapping`` registered under a
+short name; the multilevel driver, benchmark harness, and examples look
+algorithms up by that name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.execspace import ExecSpace
+from ..types import VI
+
+__all__ = ["CoarseMapping", "Coarsener", "register_coarsener", "get_coarsener", "available_coarseners"]
+
+
+@dataclass
+class CoarseMapping:
+    """Result of one FINDCOARSEMAPPING step (Algorithm 1, line 4).
+
+    Attributes
+    ----------
+    m:
+        Mapping array of length ``n``: ``m[u]`` is the coarse vertex id
+        of fine vertex ``u``, in ``0 .. n_c - 1``.
+    n_c:
+        Number of coarse vertices.
+    stats:
+        Algorithm-specific diagnostics (pass counts, two-hop phase
+        tallies, MIS rounds, ...), reported by the benchmark harness.
+    """
+
+    m: np.ndarray
+    n_c: int
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.m = np.ascontiguousarray(self.m, dtype=VI)
+        self.n_c = int(self.n_c)
+
+    @property
+    def n(self) -> int:
+        return len(self.m)
+
+    def coarsening_ratio(self) -> float:
+        """Fine-to-coarse vertex count ratio of this single step."""
+        return self.n / self.n_c if self.n_c else float("inf")
+
+    def aggregate_sizes(self) -> np.ndarray:
+        """Number of fine vertices mapped to each coarse vertex."""
+        return np.bincount(self.m, minlength=self.n_c)
+
+
+class Coarsener(Protocol):
+    """A coarse-mapping algorithm."""
+
+    def __call__(self, g: CSRGraph, space: ExecSpace) -> CoarseMapping: ...
+
+
+_REGISTRY: dict[str, Coarsener] = {}
+
+
+def register_coarsener(name: str) -> Callable[[Coarsener], Coarsener]:
+    """Decorator registering a coarsener under ``name``."""
+
+    def deco(fn: Coarsener) -> Coarsener:
+        if name in _REGISTRY:
+            raise ValueError(f"coarsener {name!r} already registered")
+        _REGISTRY[name] = fn
+        fn.coarsener_name = name  # type: ignore[attr-defined]
+        return fn
+
+    return deco
+
+
+def get_coarsener(name: str) -> Coarsener:
+    """Look up a registered coarsener; raises ``KeyError`` with the list
+    of known names on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown coarsener {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_coarseners() -> list[str]:
+    """Sorted names of all registered coarsening algorithms."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,212 @@
+"""GOSH coarsening and the GOSH-HEC hybrid (tech-report Algs. 15-16).
+
+GOSH (Akyildiz et al., ICPP 2020) aggregates for embedding: vertices are
+processed in *decreasing-degree* order; an unmapped vertex opens a
+cluster and absorbs its unmapped neighbours, except that two high-degree
+vertices are never mapped to each other (the MIS-flavoured restriction
+that keeps hubs apart).  Our parallelisation follows the paper's: rounds
+of degree-keyed tournaments (the MIS(2)-style construction of Alg. 15),
+winners absorb in bulk.
+
+GOSH ignores edge weights — its weakness on coarsened (hence weighted)
+graphs.  The GOSH-HEC hybrid (Alg. 16) repairs this with ideas from the
+HEC parallelisations: heavy-neighbour selection with capped scans of
+high-degree adjacencies ("skips high-degree vertex adjacencies in
+several loops"), pseudoforest-root resolution, and the hub-separation
+rule.  The paper measures the hybrid 1.46x faster than GOSH with 1.18x
+fewer levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..parallel.primitives import segment_max_index
+from ..types import UNMAPPED, VI
+from .base import CoarseMapping, register_coarsener
+from .mapping import pointer_jump, relabel
+
+__all__ = ["gosh_coarsen", "gosh_hec_coarsen"]
+
+_B = 8
+
+
+#: joiners a GOSH cluster may absorb per tournament round
+_ABSORB_CAP = 3
+
+
+def _hub_threshold(g: CSRGraph) -> float:
+    """GOSH's high-degree cutoff δ.
+
+    A *hub* sits far above the average degree; on regular meshes the
+    interior degree is only slightly above the boundary-depressed
+    average, so a bare ``deg > avg`` rule would mark half the mesh as
+    hubs and stall absorption.  4x the average separates genuine hubs
+    (power-law tails) from mesh interiors.
+    """
+    return max(2.0, 4.0 * g.avg_degree())
+
+
+def _neighbor_max(g: CSRGraph, values: np.ndarray) -> np.ndarray:
+    out = values.copy()
+    gathered = values[g.adjncy]
+    lengths = np.diff(g.xadj)
+    nonempty = np.flatnonzero(lengths > 0)
+    if len(nonempty):
+        seg = np.maximum.reduceat(gathered, g.xadj[nonempty])
+        out[nonempty] = np.maximum(out[nonempty], seg)
+    return out
+
+
+@register_coarsener("gosh")
+def gosh_coarsen(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
+    """Degree-ordered MIS-style aggregation with hub separation.
+
+    Each round, unmapped vertices whose (degree, random) key is a strict
+    local maximum among their unmapped neighbours open clusters; their
+    unmapped neighbours join, unless both endpoints are high-degree
+    (degree above the average — GOSH's δ threshold).
+    """
+    n = g.n
+    deg = np.diff(g.xadj).astype(np.int64)
+    high = deg > _hub_threshold(g)
+    # composite priority: degree first, random tiebreak, id uniquifier.
+    # Field widths: id 24 bits (n < 16.7M), random 16 bits, degree 23 bits.
+    if n >= 1 << 24:
+        raise ValueError("gosh_coarsen: n exceeds the 24-bit id field")
+    rand = space.rng.integers(0, 2**16, size=n).astype(np.int64)
+    prio = (deg << np.int64(40)) + (rand << np.int64(24)) + np.arange(n, dtype=np.int64)
+
+    m = np.full(n, UNMAPPED, dtype=VI)
+    rounds = 0
+    while True:
+        un = m == UNMAPPED
+        if not un.any():
+            break
+        rounds += 1
+        if rounds > 300:
+            m[un] = np.flatnonzero(un)  # give up: singletons (never hit)
+            break
+        live = np.where(un, prio, np.int64(-1))
+        live_low = np.where(un & ~high, prio, np.int64(-1))
+        # A vertex is blocked only by higher-priority unmapped neighbours
+        # it could actually merge with: hub-hub edges never merge, so a
+        # hub ignores other hubs (otherwise hubs would resolve one per
+        # round, serialising exactly what the parallelisation must not).
+        blk_all = _neighbor_max(g, live)      # closed nbhd, includes self
+        blk_low = _neighbor_max(g, live_low)  # self excluded for hubs
+        winners = un & np.where(high, prio > blk_low, blk_all == live)
+        if not winners.any():  # isolated unmapped vertices remain
+            m[un] = np.flatnonzero(un)
+            break
+        m[winners] = np.flatnonzero(winners)
+        # absorption: unmapped vertex joins its max-priority winning
+        # neighbour, unless both are high-degree
+        wprio = np.where(winners & ~high, prio, np.int64(-1))
+        wprio_high = np.where(winners, prio, np.int64(-1))
+        # low-degree vertices may join any winner; high-degree vertices
+        # may only join low-degree winners
+        best_any = _neighbor_max(g, wprio_high)
+        best_low = _neighbor_max(g, wprio)
+        un2 = m == UNMAPPED
+        choice = np.where(high, best_low, best_any)
+        join = un2 & (choice >= 0) & ~winners
+        owner = (choice & np.int64((1 << 24) - 1)).astype(VI)  # id field
+        # Cluster-growth cap: each winner absorbs at most _ABSORB_CAP
+        # joiners per round.  Uncapped absorption would contract a dense
+        # mesh by a factor of its degree per level; the paper's GOSH
+        # level counts (Table IV) imply per-level ratios of only ~2-5,
+        # i.e. the real GOSH limits super-vertex growth.
+        j = np.flatnonzero(join)
+        if len(j):
+            own = owner[j]
+            tie = space.rng.integers(0, 1 << 30, size=len(j))
+            order = np.lexsort((tie, own))
+            own_sorted = own[order]
+            first = np.empty(len(j), dtype=bool)
+            first[0] = True
+            first[1:] = own_sorted[1:] != own_sorted[:-1]
+            group_start = np.maximum.accumulate(np.where(first, np.arange(len(j)), 0))
+            rank = np.arange(len(j)) - group_start
+            # hub winners absorb proportionally to their degree so stars
+            # contract in O(1) rounds; ordinary clusters stay small
+            cap = np.maximum(_ABSORB_CAP, deg[own_sorted] // 8)
+            keep = j[order[rank < cap]]
+            m[keep] = owner[keep]
+        # cost: rounds sweep only the still-active subgraph (the frontier
+        # shrinks geometrically; charging the full graph per round would
+        # overstate GOSH's cost several-fold)
+        active_adj = float(deg[un].sum())
+        space.ledger.charge(
+            "mapping",
+            KernelCost(
+                stream_bytes=2.0 * _B * active_adj + 6.0 * _B * float(un.sum()),
+                random_bytes=_B * active_adj,
+                launches=4,
+            ),
+        )
+    m, n_c = relabel(m, space)
+    return CoarseMapping(m, n_c, {"algorithm": "gosh", "rounds": rounds})
+
+
+@register_coarsener("gosh_hec")
+def gosh_hec_coarsen(g: CSRGraph, space: ExecSpace, cap: int = 128) -> CoarseMapping:
+    """GOSH-HEC hybrid: weight-aware aggregation with capped hub scans.
+
+    Heavy-neighbour selection as in HEC, but adjacency scans of vertices
+    with degree above ``cap`` only inspect their first ``cap`` entries
+    (less indirection, bounded work per lane).  Roots are resolved
+    HEC3-style on the heavy pseudoforest; the GOSH hub rule breaks heavy
+    edges between two high-degree vertices so hubs stay separate.
+    """
+    n = g.n
+    deg = np.diff(g.xadj).astype(np.int64)
+    high = deg > _hub_threshold(g)
+
+    # capped heavy-neighbour scan
+    starts = g.xadj[:-1]
+    stops = np.minimum(g.xadj[1:], starts + cap)
+    capped_xadj = np.zeros(n + 1, dtype=VI)
+    np.cumsum(stops - starts, out=capped_xadj[1:])
+    total = int(capped_xadj[-1])
+    lane = np.repeat(np.arange(n, dtype=VI), stops - starts)
+    idx = np.arange(total, dtype=VI) - capped_xadj[lane] + starts[lane]
+    sub_w = g.ewgts[idx]
+    best = segment_max_index(None, sub_w, capped_xadj)
+    h = np.where(best >= 0, g.adjncy[idx[np.clip(best, 0, None)]], UNMAPPED).astype(VI)
+    space.ledger.charge(
+        "mapping",
+        KernelCost(stream_bytes=2.0 * _B * total + 2.0 * _B * n, launches=1),
+    )
+
+    # hub rule: a high-degree vertex must not aggregate with another
+    # high-degree vertex — break those heavy edges (vertex roots itself)
+    hub_pair = (h >= 0) & high & high[np.clip(h, 0, None)]
+    h[hub_pair] = UNMAPPED
+
+    i = np.arange(n, dtype=VI)
+    m = np.full(n, UNMAPPED, dtype=VI)
+    valid = h >= 0
+    m[~valid] = i[~valid]
+    # mutual collapse then root resolution (as HEC3, unpermuted: the
+    # hybrid trades the permutation pass for lower indirection)
+    mutual = valid.copy()
+    mutual[valid] &= h[np.clip(h[valid], 0, None)] == i[valid]
+    m[mutual] = np.minimum(i[mutual], h[mutual])
+    targets = h[valid]
+    unset = targets[m[targets] == UNMAPPED]
+    m[unset] = unset
+    rest = m == UNMAPPED
+    m[rest] = m[h[rest]]
+    m = pointer_jump(m, space)
+    space.ledger.charge(
+        "mapping",
+        KernelCost(stream_bytes=6.0 * _B * n, random_bytes=3.0 * _B * n, launches=3),
+    )
+    m, n_c = relabel(m, space)
+    return CoarseMapping(
+        m, n_c, {"algorithm": "gosh_hec", "hub_breaks": int(hub_pair.sum())}
+    )

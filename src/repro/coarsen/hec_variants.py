@@ -1,0 +1,149 @@
+"""HEC2 and HEC3: race-free alternates to the lock-free HEC.
+
+HEC3 (Algorithm 5) decouples coarse-vertex creation from inheritance by
+viewing the heavy-neighbour array as a directed *pseudoforest* (every
+vertex has out-degree one, Fig. 2 right): vertices with non-zero
+in-degree become coarse roots, mutual heavy pairs are collapsed in a
+separate loop, and everyone else inherits by pointer jumping.  No claim
+array and almost no fine-grained synchronisation — at the price of less
+aggressive coarsening (the paper measures 1.26x more levels than HEC).
+
+HEC2 (Algorithm 9 of the tech report, which is not publicly archived) is
+described as the intermediate point: helper arrays give consistent id
+assignment, but the 2-cycle (mutual-pair) collapse is missing, so both
+endpoints of a mutual heavy edge become roots and never merge — hence
+the still slower coarsening (1.56x more levels).  Our rendering follows
+that description; see DESIGN.md.
+
+Both algorithms randomise root selection through the permutation ``P``
+and its inverse ``O`` (Algorithm 5 works in permuted vertex space so
+that ``min(u, v)`` picks a random endpoint of each mutual pair).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..parallel.primitives import gen_perm
+from ..types import UNMAPPED, VI
+from .base import CoarseMapping, register_coarsener
+from .hec import heavy_neighbors
+from .mapping import pointer_jump, relabel
+
+__all__ = ["hec3", "hec2"]
+
+_B = 8
+
+
+def _permuted_heavy(g: CSRGraph, space: ExecSpace) -> tuple[np.ndarray, np.ndarray]:
+    """Heavy-neighbour array in permuted vertex space.
+
+    Returns ``(perm, hp)`` where ``hp[i] = O[H[P[i]]]``: position ``i``'s
+    heavy neighbour, as a position.  Lines 1-4 of Algorithm 5.
+    """
+    n = g.n
+    perm = gen_perm(n, space)
+    o = np.empty(n, dtype=VI)
+    o[perm] = np.arange(n, dtype=VI)
+    h = heavy_neighbors(g, space)
+    h_at_pos = h[perm]  # heavy neighbour (a vertex id) of position i
+    hp = np.where(h_at_pos >= 0, o[np.clip(h_at_pos, 0, None)], UNMAPPED)
+    space.ledger.charge(
+        "mapping",
+        KernelCost(stream_bytes=2.0 * _B * n, random_bytes=2.0 * _B * n, launches=2),
+    )
+    return perm, hp.astype(VI)
+
+
+def _finish(perm: np.ndarray, mp: np.ndarray, space: ExecSpace, algorithm: str, stats: dict) -> CoarseMapping:
+    """Pointer-jump, relabel, and translate back to original vertex ids."""
+    mp = pointer_jump(mp, space)
+    mp, n_c = relabel(mp, space)
+    n = len(perm)
+    m = np.empty(n, dtype=VI)
+    m[perm] = mp  # position i holds the mapping of original vertex perm[i]
+    space.ledger.charge(
+        "mapping", KernelCost(stream_bytes=2.0 * _B * n, random_bytes=_B * n, launches=1)
+    )
+    stats = dict(stats, algorithm=algorithm)
+    return CoarseMapping(m, n_c, stats)
+
+
+@register_coarsener("hec3")
+def hec3(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
+    """Algorithm 5: pseudoforest-root HEC parallelisation."""
+    n = g.n
+    perm, hp = _permuted_heavy(g, space)
+    mp = np.full(n, UNMAPPED, dtype=VI)
+    i = np.arange(n, dtype=VI)
+
+    valid = hp >= 0
+    # Isolated vertices root themselves.
+    mp[~valid] = i[~valid]
+
+    # Lines 5-8: collapse mutual heavy pairs to the smaller position.
+    mutual = valid.copy()
+    mutual[valid] &= hp[np.clip(hp[valid], 0, None)] == i[valid]
+    mp[mutual] = np.minimum(i[mutual], hp[mutual])
+    n_mutual = int(mutual.sum())
+
+    # Lines 9-12: every heavy-target with M still unset roots itself
+    # (idempotent CAS; the conditional skips "unnecessary random writes").
+    targets = hp[valid]
+    unset = targets[mp[targets] == UNMAPPED]
+    mp[unset] = unset
+    n_roots = int((mp[i] == i).sum())
+
+    # Lines 13-16: everyone else inherits its heavy neighbour's entry.
+    rest = mp == UNMAPPED
+    mp[rest] = mp[hp[rest]]
+
+    space.ledger.charge(
+        "mapping",
+        KernelCost(
+            stream_bytes=6.0 * _B * n,
+            random_bytes=4.0 * _B * n,
+            atomic_ops=float(len(targets)),
+            launches=3,
+        ),
+    )
+    return _finish(perm, mp, space, "hec3", {"mutual_pairs": n_mutual // 2, "roots": n_roots})
+
+
+@register_coarsener("hec2")
+def hec2(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
+    """HEC2: HEC3 without the 2-cycle collapse (tech-report Alg. 9).
+
+    Both endpoints of a mutual heavy pair become independent roots, so
+    mutual pairs never contract — coarse vertex counts are perfectly
+    predictable (#distinct heavy-targets) but coarsening is the slowest
+    of the three HEC variants.
+    """
+    n = g.n
+    perm, hp = _permuted_heavy(g, space)
+    mp = np.full(n, UNMAPPED, dtype=VI)
+    i = np.arange(n, dtype=VI)
+
+    valid = hp >= 0
+    mp[~valid] = i[~valid]
+
+    # X array role: mark heavy-targets as roots.
+    targets = hp[valid]
+    mp[targets] = targets
+    # Y array role: consistent ids come from the deterministic relabel.
+    rest = mp == UNMAPPED
+    mp[rest] = mp[hp[rest]]
+
+    space.ledger.charge(
+        "mapping",
+        KernelCost(
+            stream_bytes=5.0 * _B * n,
+            random_bytes=3.0 * _B * n,
+            atomic_ops=float(len(targets)),
+            launches=2,
+        ),
+    )
+    return _finish(perm, mp, space, "hec2", {"roots": int((mp[i] == i).sum())})

@@ -1,0 +1,110 @@
+"""Distance-2 MIS aggregation (Bell, Dalton, Olson; tech-report Alg. 14).
+
+The coarse aggregate roots form a *distance-2 maximal independent set*:
+no two roots are within two hops of each other, and every non-root is
+within two hops of a root.  Roots are selected by iterated random-key
+tournaments (the classic fine-grained-parallel MIS construction, run on
+the square of the graph via two max-propagation rounds); the remaining
+vertices then join an adjacent aggregate in two sweeps.
+
+MIS2 coarsening is the most aggressive method evaluated (coarsening
+ratio about the average degree), which is why it needs the fewest levels
+in Table IV but can over-coarsen (the paper flags mycielskian17).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..types import UNMAPPED, VI
+from .base import CoarseMapping, register_coarsener
+from .mapping import relabel
+
+__all__ = ["mis2_coarsen", "distance2_mis"]
+
+_B = 8
+
+_UNDECIDED, _IN, _OUT = 0, 1, 2
+
+
+def _neighbor_max(g: CSRGraph, values: np.ndarray) -> np.ndarray:
+    """``out[u] = max(values[u], max_{v in N(u)} values[v])`` in one sweep."""
+    out = values.copy()
+    gathered = values[g.adjncy]
+    lengths = np.diff(g.xadj)
+    nonempty = np.flatnonzero(lengths > 0)
+    if len(nonempty):
+        seg = np.maximum.reduceat(gathered, g.xadj[nonempty])
+        out[nonempty] = np.maximum(out[nonempty], seg)
+    return out
+
+
+def distance2_mis(g: CSRGraph, space: ExecSpace) -> np.ndarray:
+    """Return a boolean mask of a maximal distance-2 independent set."""
+    n = g.n
+    state = np.full(n, _UNDECIDED, dtype=np.int8)
+    # random tournament keys; ids break ties so keys are unique
+    keys = space.rng.integers(1, 2**31, size=n).astype(np.int64) * n + np.arange(n)
+    rounds = 0
+    while True:
+        undecided = state == _UNDECIDED
+        if not undecided.any():
+            break
+        rounds += 1
+        if rounds > 200:  # termination is probabilistic-fast; guard anyway
+            raise RuntimeError("distance2_mis failed to converge")
+        live = np.where(undecided, keys, np.int64(-1))
+        # two propagation rounds = max over the closed 2-hop neighbourhood
+        t1 = _neighbor_max(g, live)
+        t2 = _neighbor_max(g, t1)
+        winners = undecided & (t2 == live)
+        state[winners] = _IN
+        # knock out everything within distance 2 of a new winner
+        w = np.where(winners, keys, np.int64(-1))
+        k1 = _neighbor_max(g, w)
+        k2 = _neighbor_max(g, k1)
+        knocked = (state == _UNDECIDED) & (k2 >= 0) & ~winners
+        state[knocked] = _OUT
+        space.ledger.charge(
+            "mapping",
+            KernelCost(
+                stream_bytes=4.0 * 2.0 * _B * g.m_directed + 6.0 * _B * n,
+                random_bytes=4.0 * _B * g.m_directed,
+                launches=6,
+            ),
+        )
+    return state == _IN
+
+
+@register_coarsener("mis2")
+def mis2_coarsen(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
+    """MIS2 aggregation: roots = distance-2 MIS, others join in 2 sweeps."""
+    n = g.n
+    roots = distance2_mis(g, space)
+    keys = np.where(roots, space.rng.integers(1, 2**31, size=n).astype(np.int64), np.int64(-1))
+    # encode (key, owner) so each vertex learns the id of its strongest
+    # nearby aggregate; two rounds cover distance 2 (maximality ⇒ done)
+    m = np.full(n, UNMAPPED, dtype=VI)
+    m[roots] = np.flatnonzero(roots)
+    enc = np.where(roots, keys * n + m, np.int64(-1))
+    for sweep in range(2):
+        got = _neighbor_max(g, enc)
+        newly = (m == UNMAPPED) & (got >= 0)
+        m[newly] = got[newly] % n
+        enc = np.where(m != UNMAPPED, np.where(enc >= 0, enc, got), np.int64(-1))
+        space.ledger.charge(
+            "mapping",
+            KernelCost(
+                stream_bytes=2.0 * 2.0 * _B * g.m_directed + 4.0 * _B * n,
+                random_bytes=2.0 * _B * g.m_directed,
+                launches=2,
+            ),
+        )
+    # isolated vertices (disconnected inputs) become their own roots
+    lone = m == UNMAPPED
+    m[lone] = np.flatnonzero(lone)
+    m, n_c = relabel(m, space)
+    return CoarseMapping(m, n_c, {"algorithm": "mis2", "roots": int(roots.sum())})

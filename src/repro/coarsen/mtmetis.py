@@ -1,0 +1,87 @@
+"""mt-Metis-style coarsening: parallel HEM followed by selective two-hop.
+
+Reproduces the coarsening of the optimised mt-Metis (LaSalle et al.,
+IA3 2015): after the HEM pass, "if the ratio of unmatched vertices to
+total vertices is greater than some threshold, then leaf, twin, and
+relative matches are performed", with each later phase engaged only if
+the previous one left the threshold unmet (Section II).  The paper ports
+this recipe to the GPU; here both machine models run the same code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.atomics import batch_fetch_add
+from ..parallel.execspace import ExecSpace
+from ..types import UNMAPPED, VI
+from .base import CoarseMapping, register_coarsener
+from .hem import hem_parallel
+from .twohop import match_leaves, match_relatives, match_twins
+
+__all__ = ["mtmetis_coarsen", "TWOHOP_THRESHOLD"]
+
+#: Engage two-hop phases while unmatched/total exceeds this (mt-Metis's
+#: selective-application threshold).
+TWOHOP_THRESHOLD = 0.10
+
+
+@register_coarsener("mtmetis")
+def mtmetis_coarsen(
+    g: CSRGraph, space: ExecSpace, threshold: float = TWOHOP_THRESHOLD
+) -> CoarseMapping:
+    """HEM + two-hop (leaves, twins, relatives) matching.
+
+    HEM runs first but *without* its terminal singleton conversion: we
+    intercept the stalled vertices and hand them to the two-hop phases
+    before they are allowed to become singletons.
+    """
+    n = g.n
+    # Run a single HEM matching sweep manually so stalled vertices stay
+    # unmatched for the two-hop phases: reuse hem_parallel but strip its
+    # singleton assignments afterwards would renumber; instead run HEM on
+    # a copy of the mapping machinery with singletons suppressed.
+    m = np.full(n, UNMAPPED, dtype=VI)
+    counter = np.zeros(1, dtype=VI)
+    stats: dict = {"algorithm": "mtmetis"}
+
+    _hem_no_singletons(g, space, m, counter)
+    unmatched = int((m == UNMAPPED).sum())
+    stats["hem_unmatched"] = unmatched
+
+    for phase_name, phase_fn in (
+        ("leaves", match_leaves),
+        ("twins", match_twins),
+        ("relatives", match_relatives),
+    ):
+        if unmatched <= threshold * n:
+            break
+        got = phase_fn(g, m, counter, space)
+        stats[phase_name] = got
+        unmatched -= got
+
+    # whatever is still unmatched becomes singletons (as in Alg. 2)
+    rest = np.flatnonzero(m == UNMAPPED)
+    if len(rest):
+        m[rest] = batch_fetch_add(counter, len(rest))
+    stats["singletons"] = int(len(rest))
+    return CoarseMapping(m, int(counter[0]), stats)
+
+
+def _hem_no_singletons(g: CSRGraph, space: ExecSpace, m: np.ndarray, counter: np.ndarray) -> None:
+    """One HEM matching (multi-pass) that leaves stalled vertices unmatched.
+
+    Runs :func:`~repro.coarsen.hem.hem_parallel` on the graph and copies
+    only the *paired* aggregates into ``m`` — singleton aggregates are
+    discarded so the two-hop phases can try to pair those vertices.
+    """
+    inner = hem_parallel(g, space)
+    sizes = np.bincount(inner.m, minlength=inner.n_c)
+    paired = sizes[inner.m] == 2
+    # renumber the paired aggregates compactly on top of `counter`
+    if paired.any():
+        pair_ids = inner.m[paired]
+        uniq, compact = np.unique(pair_ids, return_inverse=True)
+        base = batch_fetch_add(counter, len(uniq))
+        m[np.flatnonzero(paired)] = base[0] + compact

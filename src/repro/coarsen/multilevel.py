@@ -1,0 +1,144 @@
+"""Multilevel coarsening driver (Algorithm 1) and the graph hierarchy.
+
+Iterates FINDCOARSEMAPPING + CONSTRUCTCOARSEGRAPH until the coarse
+vertex count reaches the cutoff (50 in the paper), with the paper's
+discard rule — a level that overshoots from >50 straight below 10 is
+dropped — a level cap of 200 (stalled runs report l = 201 in Table IV),
+and the projected-memory OOM simulation threaded through every step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..parallel.memory import MemoryTracker, construction_workspace, graph_bytes, mapping_workspace
+from ..types import COARSEN_CUTOFF, COARSEN_DISCARD
+from .base import CoarseMapping, Coarsener, get_coarsener
+
+__all__ = ["GraphHierarchy", "coarsen_multilevel", "MAX_LEVELS"]
+
+#: Table IV caps stalled runs at 201 hierarchy levels (200 coarsenings).
+MAX_LEVELS = 200
+
+
+@dataclass
+class GraphHierarchy:
+    """The output of multilevel coarsening.
+
+    ``graphs[0]`` is the input; ``graphs[i]`` was built from
+    ``graphs[i-1]`` through ``mappings[i-1]``.
+    """
+
+    graphs: list[CSRGraph]
+    mappings: list[CoarseMapping]
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def levels(self) -> int:
+        """Hierarchy length l (number of graphs, as reported in Table IV)."""
+        return len(self.graphs)
+
+    @property
+    def coarsest(self) -> CSRGraph:
+        return self.graphs[-1]
+
+    def coarsening_ratio(self) -> float:
+        """Average per-level ratio ``(n_0 / n_l) ** (1 / (l - 1))``."""
+        if self.levels < 2 or self.graphs[-1].n == 0:
+            return 1.0
+        return float(
+            (self.graphs[0].n / self.graphs[-1].n) ** (1.0 / (self.levels - 1))
+        )
+
+    def project(self, coarse_values: np.ndarray, to_level: int = 0) -> np.ndarray:
+        """Interpolate per-vertex values from the coarsest graph up to
+        ``to_level`` by following the mapping vectors."""
+        x = coarse_values
+        for mapping in reversed(self.mappings[to_level:]):
+            x = x[mapping.m]
+        return x
+
+
+def coarsen_multilevel(
+    g: CSRGraph,
+    space: ExecSpace,
+    *,
+    coarsener: str | Coarsener = "hec",
+    constructor: str = "sort",
+    cutoff: int = COARSEN_CUTOFF,
+    max_levels: int = MAX_LEVELS,
+    tracker: MemoryTracker | None = None,
+    include_transfer: bool = True,
+) -> GraphHierarchy:
+    """Algorithm 1: build the hierarchy ``{G_1, ..., G_l}``.
+
+    Parameters mirror the paper's experimental setup: ``cutoff`` 50, the
+    >50 → <10 discard rule, and machine-projected memory tracking (pass a
+    :class:`MemoryTracker`; ``None`` tracks but never raises).  When the
+    machine is a GPU and ``include_transfer`` is set, the initial
+    host-to-device copy of the CSR arrays is charged to the ``transfer``
+    phase (Table II includes it; Fig. 3 center excludes it).
+    """
+    from ..construct.base import get_constructor  # local: avoid import cycle
+
+    coarsen_fn = get_coarsener(coarsener) if isinstance(coarsener, str) else coarsener
+    construct_fn = get_constructor(constructor)
+    algo_name = getattr(coarsen_fn, "coarsener_name", "custom")
+    tracker = tracker or MemoryTracker.null()
+
+    if space.machine.is_gpu and include_transfer:
+        space.ledger.charge(
+            "transfer", KernelCost(transfer_bytes=graph_bytes(g.n, g.m), launches=1)
+        )
+
+    graphs = [g]
+    mappings: list[CoarseMapping] = []
+    level_stats: list[dict] = []
+    tracker.hold_level(g.n, g.m)
+    discarded = False
+
+    while graphs[-1].n > cutoff and len(mappings) < max_levels:
+        fine = graphs[-1]
+        tracker.transient(mapping_workspace(algo_name, fine.n, fine.m))
+        mapping = coarsen_fn(fine, space)
+
+        if mapping.n_c >= fine.n:
+            break  # no progress at all: a genuine stall, stop cleanly
+
+        tracker.transient(construction_workspace(mapping.n_c, fine.m, constructor))
+        coarse = construct_fn(fine, mapping, space)
+        tracker.hold_level(coarse.n, coarse.m)
+
+        # Paper discard rule: overshooting from >50 to <10 drops the level.
+        if fine.n > cutoff and coarse.n < COARSEN_DISCARD:
+            discarded = True
+            break
+
+        graphs.append(coarse)
+        mappings.append(mapping)
+        level_stats.append(
+            {
+                "n": coarse.n,
+                "m": coarse.m,
+                "n_c_ratio": fine.n / max(coarse.n, 1),
+                **{k: v for k, v in mapping.stats.items() if k != "algorithm"},
+            }
+        )
+
+    return GraphHierarchy(
+        graphs,
+        mappings,
+        stats={
+            "coarsener": algo_name,
+            "constructor": constructor,
+            "levels": len(graphs),
+            "discarded_overshoot": discarded,
+            "per_level": level_stats,
+            "peak_memory_projected": tracker.peak,
+        },
+    )

@@ -1,0 +1,103 @@
+"""Suitor-based coarsening (Manne & Halappanavar, IPDPS 2014).
+
+The paper lists Suitor as the comparison it plans "in future work"
+(Section III-A.2) and b-Suitor in its future-work list; we include the
+b=1 algorithm so that comparison can actually be run.  Suitor computes
+the same 1/2-approximate maximum weighted matching as greedy
+edge-weight-sorted matching, but through local proposals: every vertex
+proposes to its heaviest neighbour whose standing offer is weaker;
+displaced proposers immediately re-propose.  Unlike HEM, the outcome is
+*independent of visit order* (ties broken by ids), which makes it an
+interesting deterministic alternative to randomised matching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.atomics import batch_fetch_add
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..types import UNMAPPED, VI
+from .base import CoarseMapping, register_coarsener
+
+__all__ = ["suitor_matching", "suitor_coarsen"]
+
+_B = 8
+
+
+def suitor_matching(g: CSRGraph) -> np.ndarray:
+    """Return the suitor array: ``suitor[v]`` = strongest proposer of v.
+
+    ``u`` and ``v`` are matched iff they are each other's suitors.
+    Sequential worklist formulation; O(m) proposals amortised for
+    graphs without long displacement chains.
+    """
+    n = g.n
+    suitor = [-1] * n
+    ws = [0.0] * n  # weight of the standing offer at each vertex
+    xadj = g.xadj.tolist()
+    adjncy = g.adjncy.tolist()
+    ewgts = g.ewgts.tolist()
+
+    proposals = 0
+    for start in range(n):
+        current = start
+        while current != -1:
+            best = -1
+            best_w = 0.0
+            for k in range(xadj[current], xadj[current + 1]):
+                v = adjncy[k]
+                w = ewgts[k]
+                offer = ws[v]
+                # strictly better offer, ties by proposer id (lower wins)
+                if w > best_w and (w > offer or (w == offer and current < suitor[v])):
+                    best = v
+                    best_w = w
+            if best == -1:
+                break
+            displaced = suitor[best]
+            suitor[best] = current
+            ws[best] = best_w
+            proposals += 1
+            current = displaced
+            if proposals > 16 * max(g.m, 1):  # displacement-chain guard
+                break
+    return np.array(suitor, dtype=VI)
+
+
+@register_coarsener("suitor")
+def suitor_coarsen(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
+    """Matching-based coarsening from mutual suitor pairs.
+
+    Mutually-proposing pairs contract; everyone else becomes a
+    singleton (as in HEM).  The result is deterministic for a given
+    graph — the seeded permutation plays no role.
+    """
+    n = g.n
+    suitor = suitor_matching(g)
+    m = np.full(n, UNMAPPED, dtype=VI)
+    counter = np.zeros(1, dtype=VI)
+    idx = np.arange(n, dtype=VI)
+    mutual = (suitor >= 0) & (suitor[np.clip(suitor, 0, None)] == idx)
+    lower = mutual & (idx < suitor)
+    a = idx[lower]
+    b = suitor[lower]
+    if len(a):
+        ids = batch_fetch_add(counter, len(a))
+        m[a] = ids
+        m[b] = ids
+    rest = np.flatnonzero(m == UNMAPPED)
+    if len(rest):
+        m[rest] = batch_fetch_add(counter, len(rest))
+    space.ledger.charge(
+        "mapping",
+        KernelCost(
+            stream_bytes=2.0 * _B * g.m_directed + 4.0 * _B * n,
+            random_bytes=2.0 * _B * g.m_directed,  # offer reads + displacements
+            atomic_ops=float(n),
+            launches=3,
+        ),
+    )
+    return CoarseMapping(m, int(counter[0]), {"algorithm": "suitor", "pairs": int(len(a))})

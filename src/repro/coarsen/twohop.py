@@ -1,0 +1,169 @@
+"""Two-hop matching: leaves, twins, relatives (tech-report Algs. 11-13).
+
+LaSalle et al. observed that HEM stalls on skewed-degree graphs because
+structurally-equivalent vertices (leaves hanging off a hub, vertices with
+identical neighbourhoods) can never match *each other* directly.  Two-hop
+matching contracts such pairs through their shared intermediary:
+
+* **leaves** — unmatched degree-1 vertices sharing the same neighbour,
+* **twins** — unmatched vertices with identical adjacency lists,
+* **relatives** — unmatched vertices sharing at least one neighbour.
+
+Each phase is engaged only while the unmatched fraction stays above a
+threshold, mirroring mt-Metis's selective application (Section II).  All
+three phases mutate a shared matching array in place and return how many
+vertices they matched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+from ..parallel.atomics import batch_fetch_add
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..types import UNMAPPED, VI
+
+__all__ = ["match_leaves", "match_twins", "match_relatives"]
+
+_B = 8
+
+
+def _pair_by_key(cand: np.ndarray, keys: np.ndarray, m: np.ndarray, counter: np.ndarray) -> int:
+    """Match consecutive candidates sharing a key; returns matched count.
+
+    Candidates are sorted by ``keys``; within each equal-key run,
+    entries are paired two at a time (the odd one stays unmatched).
+    """
+    if len(cand) < 2:
+        return 0
+    order = np.argsort(keys, kind="stable")
+    cand, keys = cand[order], keys[order]
+    # mark run starts, pair positions (i, i+1) where both share the key
+    same = keys[1:] == keys[:-1]
+    take = np.zeros(len(cand), dtype=bool)
+    # greedy scan: position i pairs with i+1 iff same key and i not taken
+    i = 0
+    first = []
+    second = []
+    while i + 1 < len(cand):
+        if same[i]:
+            first.append(i)
+            second.append(i + 1)
+            i += 2
+        else:
+            i += 1
+    if not first:
+        return 0
+    a, b = cand[np.array(first)], cand[np.array(second)]
+    ids = batch_fetch_add(counter, len(a))
+    m[a] = ids
+    m[b] = ids
+    return 2 * len(a)
+
+
+def match_leaves(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpace) -> int:
+    """Pair unmatched degree-1 vertices hanging off the same hub."""
+    deg = np.diff(g.xadj)
+    cand = np.flatnonzero((deg == 1) & (m == UNMAPPED)).astype(VI)
+    space.ledger.charge(
+        "mapping",
+        KernelCost(stream_bytes=2.0 * _B * g.n, launches=2,
+                   sort_key_ops=len(cand) * max(1.0, np.log2(max(len(cand), 2)))),
+    )
+    if len(cand) < 2:
+        return 0
+    hubs = g.adjncy[g.xadj[cand]]  # the single neighbour of each leaf
+    return _pair_by_key(cand, hubs, m, counter)
+
+
+def match_twins(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpace, max_degree: int = 64) -> int:
+    """Pair unmatched vertices with identical adjacency lists.
+
+    Adjacency lists are fingerprinted with a position-weighted polynomial
+    hash computed in one vectorised sweep (CSR rows are stored sorted, so
+    equal sets hash equally); hash buckets are verified entry-by-entry
+    before matching, so collisions can cost time but never correctness.
+    Degree is capped: hubs are poor twin candidates and comparing their
+    rows is the quadratic trap mt-Metis avoids.
+    """
+    deg = np.diff(g.xadj)
+    cand = np.flatnonzero((m == UNMAPPED) & (deg >= 1) & (deg <= max_degree)).astype(VI)
+    space.ledger.charge(
+        "mapping",
+        KernelCost(
+            stream_bytes=2.0 * _B * g.m_directed + 2.0 * _B * g.n,
+            hash_ops=float(len(cand)),
+            launches=2,
+        ),
+    )
+    if len(cand) < 2:
+        return 0
+    # polynomial row fingerprints over the whole graph in one pass
+    mod = np.int64(2**61 - 1)
+    mult = np.int64(1_000_003)
+    pos = np.arange(g.m_directed, dtype=np.int64) - np.repeat(g.xadj[:-1], deg)
+    contrib = (g.adjncy.astype(np.int64) + 1) * ((pos + 7) * mult % mod) % mod
+    sums = np.zeros(g.n, dtype=np.int64)
+    np.add.at(sums, np.repeat(np.arange(g.n, dtype=VI), deg), contrib)
+    key = sums[cand] * np.int64(1315423911) % mod + deg[cand].astype(np.int64)
+
+    # bucket by (fingerprint) and verify rows before pairing
+    order = np.argsort(key, kind="stable")
+    cand, key = cand[order], key[order]
+    matched = 0
+    i = 0
+    n_cand = len(cand)
+    while i < n_cand:
+        j = i + 1
+        while j < n_cand and key[j] == key[i]:
+            j += 1
+        if j - i >= 2:
+            matched += _verify_and_pair(g, cand[i:j], m, counter)
+        i = j
+    return matched
+
+
+def _verify_and_pair(g: CSRGraph, bucket: np.ndarray, m: np.ndarray, counter: np.ndarray) -> int:
+    """Pair members of a fingerprint bucket whose rows truly coincide."""
+    rows = [tuple(g.neighbors(int(u))) for u in bucket]
+    by_row: dict[tuple, list[int]] = {}
+    for u, r in zip(bucket, rows):
+        by_row.setdefault(r, []).append(int(u))
+    matched = 0
+    for members in by_row.values():
+        for k in range(0, len(members) - 1, 2):
+            a, b = members[k], members[k + 1]
+            ids = batch_fetch_add(counter, 1)
+            m[a] = ids[0]
+            m[b] = ids[0]
+            matched += 2
+    return matched
+
+
+def match_relatives(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpace, max_degree: int = 64) -> int:
+    """Pair unmatched vertices that share a neighbour.
+
+    Each unmatched low-degree vertex nominates one intermediary (its
+    first neighbour, hub-agnostic); vertices nominating the same
+    intermediary pair up.  One sweep + one sort — the parallel analogue
+    of mt-Metis scanning hub adjacencies for unmatched pairs.
+    """
+    deg = np.diff(g.xadj)
+    cand = np.flatnonzero((m == UNMAPPED) & (deg >= 1) & (deg <= max_degree)).astype(VI)
+    space.ledger.charge(
+        "mapping",
+        KernelCost(
+            stream_bytes=2.0 * _B * g.n,
+            random_bytes=_B * len(cand),
+            sort_key_ops=len(cand) * max(1.0, np.log2(max(len(cand), 2))),
+            launches=2,
+        ),
+    )
+    if len(cand) < 2:
+        return 0
+    # intermediary = heaviest neighbour's id keeps relatives of the same
+    # hub together; using the first adjacency entry is mt-Metis's choice
+    inter = g.adjncy[g.xadj[cand]]
+    return _pair_by_key(cand, inter, m, counter)

@@ -1,0 +1,45 @@
+"""Coarse-graph construction strategies (Algorithm 6 and alternatives)."""
+
+from .base import (
+    available_constructors,
+    coarse_vertex_weights,
+    finalize_csr,
+    get_constructor,
+    mapped_cross_edges,
+    register_constructor,
+)
+from .dedup import SKEW_THRESHOLD, degree_estimates, is_skewed, keep_lighter_end
+from .global_sort import construct_global_sort
+from .heap_dedup import construct_heap, heap_dedup
+from .reference import construct_reference
+from .spgemm import CSRMatrix, spgemm, spgemm_rowwise_reference, transpose
+from .spgemm_construct import aggregation_matrix, construct_spgemm
+from .vertex_hash import construct_hash, hashed_dedup
+from .vertex_sort import construct_sort, sorted_dedup
+
+__all__ = [
+    "available_constructors",
+    "get_constructor",
+    "register_constructor",
+    "mapped_cross_edges",
+    "coarse_vertex_weights",
+    "finalize_csr",
+    "SKEW_THRESHOLD",
+    "is_skewed",
+    "degree_estimates",
+    "keep_lighter_end",
+    "construct_sort",
+    "sorted_dedup",
+    "construct_hash",
+    "hashed_dedup",
+    "construct_spgemm",
+    "aggregation_matrix",
+    "construct_global_sort",
+    "construct_heap",
+    "heap_dedup",
+    "construct_reference",
+    "CSRMatrix",
+    "spgemm",
+    "spgemm_rowwise_reference",
+    "transpose",
+]

@@ -1,0 +1,80 @@
+"""Degree-based deduplication optimization and the skew heuristic.
+
+Every undirected fine edge is stored twice in the CSR, but only one copy
+is needed for deduplication.  For skewed-degree graphs it matters *which*
+copy: keeping the copy at the endpoint whose coarse vertex has the lower
+estimated degree (the upper bound C' of Algorithm 6, line 5) keeps the
+per-vertex dedup bins small — a hub's bin would otherwise hold nearly all
+of the graph.  The paper measures this optimization at 25.7x on kron21's
+construction time and enables it selectively using the max-degree to
+average-degree ratio (Section III-B); regular meshes gain nothing, so the
+sweep is skipped there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..types import VI
+
+__all__ = ["SKEW_THRESHOLD", "is_skewed", "degree_estimates", "keep_lighter_end"]
+
+_B = 8
+
+#: Graphs with Δ/(2m/n) above this use the degree-based dedup sweep.
+#: The paper's corpus splits between 6.1 (regular max) and 17.0 (skewed
+#: min); our ~1/1000-scale stand-ins compress the skew range to 2.7 vs
+#: 8.7, so the threshold sits at 5 — splitting our corpus exactly as the
+#: paper's threshold splits theirs.
+SKEW_THRESHOLD = 5.0
+
+
+def is_skewed(g) -> bool:
+    """The paper's selective-invocation test for the dedup optimization."""
+    return g.degree_skew() > SKEW_THRESHOLD
+
+
+def degree_estimates(mu: np.ndarray, n_c: int, space: ExecSpace, phase: str = "construction") -> np.ndarray:
+    """C' of Algorithm 6 (lines 1-5): per-coarse-vertex cross-degree upper
+    bound, counted with atomic increments over the mapped edge sweep."""
+    c_prime = np.bincount(mu, minlength=n_c).astype(VI)
+    space.ledger.charge(
+        phase,
+        KernelCost(
+            stream_bytes=_B * len(mu) + _B * n_c,
+            random_bytes=_B * len(mu),
+            atomic_ops=float(len(mu)),
+            launches=1,
+        ),
+    )
+    return c_prime
+
+
+def keep_lighter_end(
+    mu: np.ndarray,
+    mv: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    c_prime: np.ndarray,
+    space: ExecSpace,
+    phase: str = "construction",
+) -> np.ndarray:
+    """The keep-side predicate of Algorithm 6 (lines 9 / 17).
+
+    Returns a mask selecting, for each undirected fine edge, exactly one
+    of its two directed copies: the one whose source coarse vertex has
+    the smaller degree estimate, with fine vertex ids breaking ties.
+    """
+    cu, cv = c_prime[mu], c_prime[mv]
+    keep = (cu < cv) | ((cu == cv) & (u < v))
+    space.ledger.charge(
+        phase,
+        KernelCost(
+            stream_bytes=3.0 * _B * len(mu),
+            random_bytes=2.0 * _B * len(mu),
+            launches=1,
+        ),
+    )
+    return keep

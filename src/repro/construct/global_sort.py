@@ -1,0 +1,58 @@
+"""Global-sort construction baseline (Section III-B).
+
+Sort *all* mapped edge triples <M[u], M[v], W(u,v)> globally and merge
+equal runs — no per-vertex binning, no degree-based keep-side sweep.
+The paper found it "not to be competitive": the global sort pays the
+full 2m·log(2m) over the whole edge set where the vertex-centric
+strategies sort short bins (and the skew optimization halves them).
+Kept as the baseline it is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coarsen.base import CoarseMapping
+from ..csr.graph import CSRGraph
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+from ..types import WT
+from .base import (
+    coarse_vertex_weights,
+    finalize_csr,
+    mapped_cross_edges,
+    register_constructor,
+)
+
+__all__ = ["construct_global_sort"]
+
+_B = 8
+
+
+@register_constructor("global_sort")
+def construct_global_sort(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSRGraph:
+    n_c = mapping.n_c
+    mu, mv, w, _, _ = mapped_cross_edges(g, mapping, space)
+    vwgts = coarse_vertex_weights(g, mapping, space)
+
+    total = len(mu)
+    order = np.lexsort((mv, mu))
+    mu, mv, w = mu[order], mv[order], w[order]
+    if total:
+        new_run = np.empty(total, dtype=bool)
+        new_run[0] = True
+        new_run[1:] = (mu[1:] != mu[:-1]) | (mv[1:] != mv[:-1])
+        run_ids = np.cumsum(new_run) - 1
+        wsum = np.zeros(int(run_ids[-1]) + 1, dtype=WT)
+        np.add.at(wsum, run_ids, w)
+        first = np.flatnonzero(new_run)
+        mu, mv, w = mu[first], mv[first], wsum
+    space.ledger.charge(
+        "construction",
+        KernelCost(
+            stream_bytes=6.0 * _B * total,
+            sort_key_ops=2.0 * total * max(1.0, np.log2(max(total, 2))),
+            launches=3,
+        ),
+    )
+    return finalize_csr(n_c, mu, mv, w, vwgts, g.name)

@@ -1,0 +1,79 @@
+"""Pure-Python per-vertex transcription of Algorithm 6 — the test oracle.
+
+Follows the pseudocode line by line: degree estimates C', keep-side
+counting into C, F/X fill via FINDLOC slot reservation, per-vertex
+DEDUPWITHWTS (insertion into a per-vertex dict, i.e. the hash flavour),
+and the final transpose enumeration.  Slow and loud by design; every
+vectorised strategy must produce exactly this graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coarsen.base import CoarseMapping
+from ..csr.graph import CSRGraph
+from ..types import VI, WT
+
+__all__ = ["construct_reference"]
+
+
+def construct_reference(g: CSRGraph, mapping: CoarseMapping, *, use_keep_side: bool = True) -> CSRGraph:
+    """Reference construction; ``use_keep_side`` toggles the degree-based
+    dedup optimization (the output must be identical either way)."""
+    m = mapping.m
+    n_c = mapping.n_c
+
+    # step 1: degree upper bounds C'
+    c_prime = [0] * n_c
+    for u in range(g.n):
+        for v in g.neighbors(u):
+            if m[u] != m[v]:
+                c_prime[m[u]] += 1
+
+    def keeps(u: int, v: int) -> bool:
+        if not use_keep_side:
+            return True
+        a, b = c_prime[m[u]], c_prime[m[v]]
+        return a < b or (a == b and u < v)
+
+    # steps 2-5: per-coarse-vertex accumulation (hash-flavour dedup)
+    tables: list[dict[int, float]] = [dict() for _ in range(n_c)]
+    for u in range(g.n):
+        nbrs = g.neighbors(u)
+        wts = g.edge_weights(u)
+        for v, wv in zip(nbrs, wts):
+            u_, v_ = int(u), int(v)
+            if m[u_] == m[v_]:
+                continue
+            if keeps(u_, v_):
+                t = tables[m[u_]]
+                key = int(m[v_])
+                t[key] = t.get(key, 0.0) + float(wv)
+
+    # step 6: GraphConsWithTrans — emit both directions, merge, build CSR
+    sym: list[dict[int, float]] = [dict() for _ in range(n_c)]
+    for cu in range(n_c):
+        for cv, wv in tables[cu].items():
+            sym[cu][cv] = sym[cu].get(cv, 0.0) + wv
+            if use_keep_side:
+                sym[cv][cu] = sym[cv].get(cu, 0.0) + wv
+
+    xadj = [0]
+    adjncy: list[int] = []
+    ewgts: list[float] = []
+    for cu in range(n_c):
+        for cv in sorted(sym[cu]):
+            adjncy.append(cv)
+            ewgts.append(sym[cu][cv])
+        xadj.append(len(adjncy))
+
+    vwgts = np.zeros(n_c, dtype=WT)
+    np.add.at(vwgts, m, g.vwgts)
+    return CSRGraph(
+        np.array(xadj, dtype=VI),
+        np.array(adjncy, dtype=VI),
+        np.array(ewgts, dtype=WT),
+        vwgts,
+        g.name,
+    )

@@ -1,0 +1,87 @@
+"""Connected components on CSR graphs.
+
+Used by the preprocessing pipeline (largest-component extraction, paper
+Section IV) and by tests that assert coarsening preserves connectivity.
+
+The implementation is a frontier-based label-propagation BFS: fully
+vectorised per level, O(m · diameter) worst case but O(m) in practice for
+the corpus graphs, and allocation-light per the hpc-parallel guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import VI
+from .graph import CSRGraph
+
+__all__ = ["connected_components", "largest_component", "is_connected"]
+
+
+def connected_components(g: CSRGraph) -> tuple[int, np.ndarray]:
+    """Label connected components.
+
+    Returns
+    -------
+    (count, labels):
+        ``labels[u]`` is the 0-based component id of ``u``; ids are
+        assigned in order of the smallest vertex in each component.
+    """
+    n = g.n
+    labels = np.full(n, -1, dtype=VI)
+    count = 0
+    unvisited_ptr = 0
+    while True:
+        # Find the next unvisited seed.
+        while unvisited_ptr < n and labels[unvisited_ptr] >= 0:
+            unvisited_ptr += 1
+        if unvisited_ptr >= n:
+            break
+        frontier = np.array([unvisited_ptr], dtype=VI)
+        labels[unvisited_ptr] = count
+        while len(frontier):
+            # Gather all neighbours of the frontier, keep the unvisited ones.
+            starts = g.xadj[frontier]
+            stops = g.xadj[frontier + 1]
+            total = int((stops - starts).sum())
+            if total == 0:
+                break
+            nbrs = _gather_ranges(g.adjncy, starts, stops, total)
+            nbrs = nbrs[labels[nbrs] < 0]
+            if len(nbrs) == 0:
+                break
+            nbrs = np.unique(nbrs)
+            labels[nbrs] = count
+            frontier = nbrs
+        count += 1
+    return count, labels
+
+
+def _gather_ranges(adjncy, starts, stops, total) -> np.ndarray:
+    """Concatenate ``adjncy[starts[i]:stops[i]]`` for all i, vectorised."""
+    lengths = stops - starts
+    # offsets[k] = position within the output of entry k's source range start
+    out_starts = np.zeros(len(starts), dtype=VI)
+    np.cumsum(lengths[:-1], out=out_starts[1:])
+    idx = np.arange(total, dtype=VI)
+    # For each output slot, subtract the start of its run and add adjncy base.
+    run = np.repeat(np.arange(len(starts), dtype=VI), lengths)
+    idx = idx - out_starts[run] + starts[run]
+    return adjncy[idx]
+
+
+def largest_component(g: CSRGraph) -> np.ndarray:
+    """Vertex ids of the largest connected component, ascending."""
+    count, labels = connected_components(g)
+    if count <= 1:
+        return np.arange(g.n, dtype=VI)
+    sizes = np.bincount(labels, minlength=count)
+    return np.flatnonzero(labels == np.argmax(sizes)).astype(VI)
+
+
+def is_connected(g: CSRGraph) -> bool:
+    """True when ``g`` has exactly one connected component (or is empty)."""
+    if g.n == 0:
+        return True
+    count, _ = connected_components(g)
+    return count == 1

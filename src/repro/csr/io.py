@@ -1,0 +1,110 @@
+"""Graph I/O: MatrixMarket (SuiteSparse interchange) and NumPy ``.npz``.
+
+SuiteSparse graphs ship as MatrixMarket coordinate files; OGB graphs as
+edge lists.  Both load paths funnel through the same preprocessing the
+paper applies (symmetrise, drop loops/duplicates, largest component).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+
+import numpy as np
+
+from ..types import VI, WT
+from .build import from_edge_list, preprocess
+from .graph import CSRGraph
+
+__all__ = ["read_matrix_market", "write_matrix_market", "save_npz", "load_npz", "read_edge_list"]
+
+
+def _open(path, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
+def read_matrix_market(path, *, do_preprocess: bool = True) -> CSRGraph:
+    """Read a MatrixMarket coordinate file as an undirected graph.
+
+    Pattern matrices get unit weights; complex entries are rejected;
+    explicit values are taken as edge weights with non-positive values
+    replaced by 1 (the paper's graphs are used unweighted initially).
+    """
+    with _open(path, "r") as f:
+        header = f.readline().strip().split()
+        if len(header) < 5 or header[0] != "%%MatrixMarket":
+            raise ValueError("not a MatrixMarket file")
+        field, symmetry = header[3].lower(), header[4].lower()
+        if field == "complex":
+            raise ValueError("complex matrices unsupported")
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        rows, cols, nnz = (int(t) for t in line.split())
+        if rows != cols:
+            raise ValueError("matrix must be square to be a graph")
+        src = np.empty(nnz, dtype=VI)
+        dst = np.empty(nnz, dtype=VI)
+        wgt = np.ones(nnz, dtype=WT)
+        has_val = field != "pattern"
+        for k in range(nnz):
+            parts = f.readline().split()
+            src[k] = int(parts[0]) - 1
+            dst[k] = int(parts[1]) - 1
+            if has_val and len(parts) > 2:
+                v = abs(float(parts[2]))
+                wgt[k] = v if v > 0 else 1.0
+    g = from_edge_list(rows, src, dst, wgt, name=Path(path).stem)
+    return preprocess(g) if do_preprocess else g
+
+
+def write_matrix_market(g: CSRGraph, path) -> None:
+    """Write ``g`` as a symmetric real MatrixMarket coordinate file.
+
+    Only the lower-triangular copy of each edge is emitted, per the
+    symmetric-storage convention.
+    """
+    src, dst, wgt = g.to_coo()
+    keep = src > dst
+    src, dst, wgt = src[keep], dst[keep], wgt[keep]
+    with _open(path, "w") as f:
+        f.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        f.write(f"{g.n} {g.n} {len(src)}\n")
+        for s, d, w in zip(src, dst, wgt):
+            f.write(f"{s + 1} {d + 1} {w:.17g}\n")
+
+
+def read_edge_list(path, *, n: int | None = None, do_preprocess: bool = True) -> CSRGraph:
+    """Read a whitespace-separated edge list (OGB-style), 0-based ids."""
+    pairs = np.loadtxt(path, dtype=np.int64, ndmin=2, comments="#")
+    if pairs.shape[1] < 2:
+        raise ValueError("edge list needs at least two columns")
+    src, dst = pairs[:, 0], pairs[:, 1]
+    wgt = pairs[:, 2].astype(WT) if pairs.shape[1] > 2 else None
+    if n is None:
+        n = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+    g = from_edge_list(n, src, dst, wgt, name=Path(path).stem)
+    return preprocess(g) if do_preprocess else g
+
+
+def save_npz(g: CSRGraph, path) -> None:
+    """Save ``g`` losslessly to compressed ``.npz``."""
+    np.savez_compressed(
+        path,
+        xadj=g.xadj,
+        adjncy=g.adjncy,
+        ewgts=g.ewgts,
+        vwgts=g.vwgts,
+        name=np.array(g.name),
+    )
+
+
+def load_npz(path) -> CSRGraph:
+    """Load a graph previously stored with :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as z:
+        return CSRGraph(
+            z["xadj"], z["adjncy"], z["ewgts"], z["vwgts"], str(z["name"])
+        )

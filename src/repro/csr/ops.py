@@ -1,0 +1,125 @@
+"""Structural operations on CSR graphs: permutation, subgraphs, Laplacian.
+
+These are the substrate routines the multilevel pipeline needs around the
+core coarsening kernels: relabelling (paper preprocessing), induced
+subgraphs (largest-component extraction), and the graph Laplacian used by
+spectral partitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import VI, WT, vi_array
+from .build import from_edge_list
+from .graph import CSRGraph
+
+__all__ = [
+    "permute",
+    "induced_subgraph",
+    "laplacian_csr",
+    "degree_histogram",
+    "validate",
+]
+
+
+def permute(g: CSRGraph, perm: np.ndarray) -> CSRGraph:
+    """Relabel vertices: new id of old vertex ``u`` is ``perm[u]``.
+
+    ``perm`` must be a permutation of ``0..n-1``.  The result stores each
+    adjacency list sorted by neighbour id (canonical form).
+    """
+    perm = vi_array(perm)
+    if len(perm) != g.n or not np.array_equal(np.sort(perm), np.arange(g.n)):
+        raise ValueError("perm must be a permutation of 0..n-1")
+    src, dst, wgt = g.to_coo()
+    inv_vwgts = np.empty_like(g.vwgts)
+    inv_vwgts[perm] = g.vwgts
+    return from_edge_list(
+        g.n,
+        perm[src],
+        perm[dst],
+        wgt,
+        vwgts=inv_vwgts,
+        name=g.name,
+        symmetrize=False,
+    )
+
+
+def induced_subgraph(g: CSRGraph, vertices: np.ndarray) -> CSRGraph:
+    """Subgraph induced on ``vertices`` (must be unique), relabelled 0..k-1.
+
+    The relabelling preserves the relative order of ``vertices``.
+    """
+    vertices = vi_array(vertices)
+    k = len(vertices)
+    new_id = np.full(g.n, -1, dtype=VI)
+    new_id[vertices] = np.arange(k, dtype=VI)
+    src, dst, wgt = g.to_coo()
+    keep = (new_id[src] >= 0) & (new_id[dst] >= 0)
+    return from_edge_list(
+        k,
+        new_id[src[keep]],
+        new_id[dst[keep]],
+        wgt[keep],
+        vwgts=g.vwgts[vertices],
+        name=g.name,
+        symmetrize=False,
+    )
+
+
+def laplacian_csr(g: CSRGraph) -> tuple[np.ndarray, CSRGraph]:
+    """Return ``(weighted_degrees, g)`` representing ``L = D - A``.
+
+    The Laplacian is kept implicit: spectral code computes
+    ``L x = d * x - A x`` using the SpMV kernel, avoiding materialising a
+    second CSR structure (guide: be easy on memory, use views).
+    """
+    return g.weighted_degrees(), g
+
+
+def degree_histogram(g: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of vertices of degree ``d``."""
+    return np.bincount(np.diff(g.xadj))
+
+
+def validate(g: CSRGraph) -> None:
+    """Raise ``ValueError`` if ``g`` violates the paper's graph model.
+
+    Checks: monotone row pointers, in-range neighbour ids, no self-loops,
+    no duplicate edges within a row, strictly positive edge weights, and
+    symmetry (edge stored at both endpoints with equal weight).
+    """
+    n, xadj, adjncy, ewgts = g.n, g.xadj, g.adjncy, g.ewgts
+    if xadj[0] != 0 or xadj[-1] != len(adjncy):
+        raise ValueError("xadj endpoints inconsistent with adjncy length")
+    if np.any(np.diff(xadj) < 0):
+        raise ValueError("xadj not monotone")
+    if len(adjncy) != len(ewgts):
+        raise ValueError("adjncy/ewgts length mismatch")
+    if len(g.vwgts) != n:
+        raise ValueError("vwgts length mismatch")
+    if len(adjncy) == 0:
+        return
+    if adjncy.min() < 0 or adjncy.max() >= n:
+        raise ValueError("neighbour id out of range")
+    if np.any(ewgts <= 0):
+        raise ValueError("non-positive edge weight")
+    src = g.edge_sources()
+    if np.any(src == adjncy):
+        raise ValueError("self-loop present")
+    # duplicates within a row: sort (src, dst) pairs and look for equal runs
+    order = np.lexsort((adjncy, src))
+    s, d = src[order], adjncy[order]
+    dup = (s[1:] == s[:-1]) & (d[1:] == d[:-1])
+    if np.any(dup):
+        raise ValueError("duplicate edge within a row")
+    # symmetry: the multiset of (src,dst,w) equals the multiset of (dst,src,w)
+    w = ewgts[order]
+    order_t = np.lexsort((s, d))
+    if not (
+        np.array_equal(s, d[order_t])
+        and np.array_equal(d, s[order_t])
+        and np.allclose(w, w[order_t])
+    ):
+        raise ValueError("graph is not symmetric with matching weights")

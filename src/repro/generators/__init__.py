@@ -1,0 +1,32 @@
+"""Graph generators: the synthetic Table-I corpus and scaling families."""
+
+from .corpus import CORPUS, REGULAR, SKEWED, GraphSpec, corpus_table, load, memory_scale
+from .delaunay import delaunay_graph
+from .kron import rmat
+from .mesh import grid2d, grid3d, stencil_offsets
+from .mycielskian import mycielski_step, mycielskian
+from .powerlaw import ba_tree, chung_lu, watts_strogatz
+from .rgg import random_geometric
+from .road import road_like
+
+__all__ = [
+    "CORPUS",
+    "REGULAR",
+    "SKEWED",
+    "GraphSpec",
+    "load",
+    "corpus_table",
+    "memory_scale",
+    "grid2d",
+    "grid3d",
+    "stencil_offsets",
+    "random_geometric",
+    "delaunay_graph",
+    "rmat",
+    "chung_lu",
+    "ba_tree",
+    "watts_strogatz",
+    "road_like",
+    "mycielskian",
+    "mycielski_step",
+]

@@ -1,0 +1,146 @@
+"""The 20-graph evaluation corpus (Table I) as synthetic stand-ins.
+
+Each paper graph gets a generator matched on *structure class* and
+*degree skew* at ~1/1000 scale (see DESIGN.md for the substitution
+rationale).  Paper-scale ``(n, m)`` ride along as metadata: the memory /
+OOM simulation projects a scaled run's working set to paper scale
+through the ratio of the size measures.
+
+Graphs are cached on disk (``.graph_cache/`` next to the repo) so the
+benchmark suites do not pay generation on every process start.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..csr.graph import CSRGraph
+from ..csr.io import load_npz, save_npz
+from .delaunay import delaunay_graph
+from .kron import rmat
+from .mesh import grid3d
+from .mycielskian import mycielskian
+from .powerlaw import ba_tree, chung_lu, watts_strogatz
+from .road import road_like
+from .rgg import random_geometric
+
+__all__ = ["GraphSpec", "CORPUS", "REGULAR", "SKEWED", "load", "corpus_table", "memory_scale"]
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """One Table-I row: stand-in generator plus paper-scale metadata."""
+
+    name: str
+    domain: str
+    group: str  # "regular" | "skewed"
+    paper_m: int
+    paper_n: int
+    paper_skew: float
+    factory: Callable[[int], CSRGraph]
+
+    def generate(self, seed: int = 0) -> CSRGraph:
+        return self.factory(seed).with_name(self.name)
+
+    @property
+    def paper_size_measure(self) -> int:
+        return 2 * self.paper_m + self.paper_n
+
+
+CORPUS: list[GraphSpec] = [
+    # ---- regular group (ordered by paper size measure, as in Table I) ----
+    GraphSpec("HV15R", "cfd", "regular", 162_357_569, 2_017_169, 3.1,
+              lambda s: grid3d(16, 16, 16, radius=2, kind="box")),
+    GraphSpec("rgg24", "syn", "regular", 132_557_200, 16_777_215, 2.5,
+              lambda s: random_geometric(16384, avg_degree=15.8, seed=s)),
+    GraphSpec("nlpkkt160", "opt", "regular", 110_586_256, 8_345_600, 1.0,
+              lambda s: grid3d(20, 20, 20, radius=1, kind="box")),
+    GraphSpec("europeOsm", "road", "regular", 54_054_660, 50_912_018, 6.1,
+              lambda s: road_like(49152, seed=s)),
+    GraphSpec("CubeCoup", "fem", "regular", 62_520_692, 2_164_760, 1.2,
+              lambda s: grid3d(14, 14, 14, radius=2, kind="box")),
+    GraphSpec("delaunay24", "syn", "regular", 50_331_601, 16_777_216, 4.3,
+              lambda s: delaunay_graph(16384, seed=s)),
+    GraphSpec("Flan1565", "fem", "regular", 57_920_625, 1_564_794, 1.1,
+              lambda s: grid3d(12, 12, 12, radius=2, kind="box")),
+    GraphSpec("MLGeer", "sim", "regular", 54_687_985, 1_504_002, 1.0,
+              lambda s: grid3d(11, 11, 16, radius=2, kind="box")),
+    GraphSpec("cage15", "bio", "regular", 47_022_346, 5_154_859, 2.5,
+              lambda s: watts_strogatz(5155, k=18, p=0.15, seed=s)),
+    GraphSpec("channel050", "sim", "regular", 42_681_372, 4_802_000, 1.0,
+              lambda s: grid3d(17, 17, 17, radius=1, kind="box")),
+    # ---- skewed group ----
+    GraphSpec("ic04", "www", "skewed", 149_054_854, 7_320_539, 6296.9,
+              lambda s: rmat(13, edge_factor=20, a=0.57, b=0.19, c=0.19, seed=s)),
+    GraphSpec("Orkut", "soc", "skewed", 117_185_083, 3_072_441, 436.7,
+              lambda s: chung_lu(6144, avg_degree=38.0, exponent=2.2, seed=s)),
+    GraphSpec("vasStokes4M", "vlsi", "skewed", 97_708_521, 4_344_906, 25.3,
+              lambda s: chung_lu(8690, avg_degree=22.5, exponent=2.9, seed=s)),
+    GraphSpec("kmerU1a", "bio", "skewed", 66_393_629, 64_678_340, 17.0,
+              lambda s: ba_tree(65536, seed=s, bias=0.45)),
+    GraphSpec("kron21", "syn", "skewed", 91_040_839, 1_543_901, 1813.7,
+              lambda s: rmat(11, edge_factor=30, a=0.57, b=0.19, c=0.19, seed=s)),
+    GraphSpec("products", "ecom", "skewed", 61_806_303, 2_385_902, 337.4,
+              lambda s: chung_lu(4772, avg_degree=26.0, exponent=2.3, seed=s)),
+    GraphSpec("hollywood09", "soc", "skewed", 56_306_653, 1_069_126, 108.9,
+              lambda s: chung_lu(3207, avg_degree=35.0, exponent=2.2, seed=s)),
+    GraphSpec("mycielskian17", "syn", "skewed", 50_122_871, 98_303, 48.2,
+              lambda s: mycielskian(11)),
+    GraphSpec("citation", "cit", "skewed", 30_344_439, 2_915_301, 480.4,
+              lambda s: chung_lu(5830, avg_degree=10.4, exponent=2.4, seed=s)),
+    GraphSpec("ppa", "bio", "skewed", 21_231_776, 576_039, 44.0,
+              lambda s: chung_lu(2304, avg_degree=18.4, exponent=2.5, seed=s)),
+]
+
+REGULAR = [s for s in CORPUS if s.group == "regular"]
+SKEWED = [s for s in CORPUS if s.group == "skewed"]
+
+_BY_NAME = {s.name: s for s in CORPUS}
+
+#: bump when generator parameters change so stale disk caches are ignored
+_CORPUS_VERSION = 2
+_CACHE_DIR = Path(os.environ.get("REPRO_GRAPH_CACHE", Path(__file__).resolve().parents[3] / ".graph_cache"))
+
+
+def load(name: str, seed: int = 0, cache: bool = True) -> tuple[CSRGraph, GraphSpec]:
+    """Generate (or load from cache) one corpus graph by Table-I name."""
+    spec = _BY_NAME.get(name)
+    if spec is None:
+        raise KeyError(f"unknown corpus graph {name!r}; known: {[s.name for s in CORPUS]}")
+    path = _CACHE_DIR / f"{name}-s{seed}-{_CORPUS_VERSION}.npz"
+    if cache and path.exists():
+        return load_npz(path), spec
+    g = spec.generate(seed)
+    if cache:
+        _CACHE_DIR.mkdir(parents=True, exist_ok=True)
+        save_npz(g, path)
+    return g, spec
+
+
+def memory_scale(g: CSRGraph, spec: GraphSpec) -> float:
+    """Paper-scale projection factor for the OOM simulation."""
+    return spec.paper_size_measure / max(g.size_measure, 1)
+
+
+def corpus_table(seed: int = 0) -> list[dict]:
+    """Table I: the realised corpus with measured sizes and skews."""
+    rows = []
+    for spec in CORPUS:
+        g, _ = load(spec.name, seed)
+        rows.append(
+            {
+                "graph": spec.name,
+                "domain": spec.domain,
+                "group": spec.group,
+                "m": g.m,
+                "n": g.n,
+                "skew": g.degree_skew(),
+                "paper_m": spec.paper_m,
+                "paper_n": spec.paper_n,
+                "paper_skew": spec.paper_skew,
+            }
+        )
+    return rows

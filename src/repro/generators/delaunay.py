@@ -1,0 +1,27 @@
+"""Delaunay triangulation graphs (the paper's delaunay24 family).
+
+Uniform random points in the unit square, edges from the Delaunay
+triangulation: planar, average degree just under 6, tiny degree skew —
+the classic "regular but unstructured" family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from ..csr.build import from_edge_list
+from ..csr.graph import CSRGraph
+
+__all__ = ["delaunay_graph"]
+
+
+def delaunay_graph(n: int, seed: int = 0, name: str = "") -> CSRGraph:
+    """Delaunay triangulation of ``n`` uniform random points."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tri = Delaunay(pts)
+    s = tri.simplices
+    src = np.concatenate([s[:, 0], s[:, 1], s[:, 2]])
+    dst = np.concatenate([s[:, 1], s[:, 2], s[:, 0]])
+    return from_edge_list(n, src, dst, name=name or f"delaunay-{n}")

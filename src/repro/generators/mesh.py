@@ -1,0 +1,64 @@
+"""Regular mesh generators: 2D/3D grids with configurable stencils.
+
+Stand-ins for the paper's FEM/optimisation matrices (nlpkkt160,
+CubeCoup, Flan1565, MLGeer, channel050, HV15R): perfectly regular degree
+distributions (skew ~ 1) with the avg-degree knob set by the stencil
+radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.build import from_edge_list
+from ..csr.graph import CSRGraph
+from ..types import VI
+
+__all__ = ["grid2d", "grid3d", "stencil_offsets"]
+
+
+def stencil_offsets(dim: int, radius: int, kind: str = "box") -> np.ndarray:
+    """Neighbour offsets of a ``box`` (Moore) or ``star`` (von Neumann)
+    stencil of the given radius, excluding the origin."""
+    rng = np.arange(-radius, radius + 1)
+    grids = np.meshgrid(*([rng] * dim), indexing="ij")
+    offs = np.stack([g.ravel() for g in grids], axis=1)
+    offs = offs[np.any(offs != 0, axis=1)]
+    if kind == "star":
+        offs = offs[np.abs(offs).sum(axis=1) <= radius]
+    elif kind != "box":
+        raise ValueError(f"unknown stencil kind {kind!r}")
+    return offs.astype(VI)
+
+
+def _grid(shape: tuple[int, ...], radius: int, kind: str, name: str) -> CSRGraph:
+    dim = len(shape)
+    n = int(np.prod(shape))
+    coords = np.stack(
+        np.meshgrid(*[np.arange(s, dtype=VI) for s in shape], indexing="ij"), axis=-1
+    ).reshape(n, dim)
+    offs = stencil_offsets(dim, radius, kind)
+    # emit both directions; the builder deduplicates and symmetrises
+    srcs, dsts = [], []
+    strides = np.ones(dim, dtype=VI)
+    for d in range(dim - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    ids = coords @ strides
+    for off in offs:
+        nbr = coords + off
+        ok = np.all((nbr >= 0) & (nbr < np.array(shape)), axis=1)
+        srcs.append(ids[ok])
+        dsts.append((nbr[ok] @ strides))
+    return from_edge_list(
+        n, np.concatenate(srcs), np.concatenate(dsts), name=name
+    )
+
+
+def grid2d(nx: int, ny: int, radius: int = 1, kind: str = "star", name: str = "") -> CSRGraph:
+    """2D grid; ``radius=1, kind='star'`` is the 5-point stencil."""
+    return _grid((nx, ny), radius, kind, name or f"grid2d-{nx}x{ny}")
+
+
+def grid3d(nx: int, ny: int, nz: int, radius: int = 1, kind: str = "box", name: str = "") -> CSRGraph:
+    """3D grid; ``radius=1, kind='box'`` is the 27-point stencil."""
+    return _grid((nx, ny, nz), radius, kind, name or f"grid3d-{nx}x{ny}x{nz}")

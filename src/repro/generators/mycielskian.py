@@ -1,0 +1,42 @@
+"""Mycielskian graphs — exact construction (the mycielskian17 stand-in).
+
+The Mycielski transformation of G(V, E): add a shadow vertex u' for each
+u (connected to all of N(u)) plus one apex vertex w adjacent to every
+shadow.  n' = 2n + 1, m' = 3m + n; iterating from K2 gives the
+SuiteSparse ``mycielskianNN`` family — triangle-free but increasingly
+dense and skewed, a stress test for coarsening (the paper flags MIS2 and
+HEC over-coarsening on it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.build import from_edge_list
+from ..csr.graph import CSRGraph
+from ..types import VI
+
+__all__ = ["mycielski_step", "mycielskian"]
+
+
+def mycielski_step(g: CSRGraph) -> CSRGraph:
+    """One Mycielski transformation of ``g``."""
+    n = g.n
+    src, dst, _ = g.to_coo()
+    half = src < dst  # each undirected edge once
+    src, dst = src[half], dst[half]
+    apex = 2 * n
+    new_src = np.concatenate([src, src, dst, np.arange(n, 2 * n, dtype=VI)])
+    new_dst = np.concatenate([dst, dst + n, src + n, np.full(n, apex, dtype=VI)])
+    return from_edge_list(2 * n + 1, new_src, new_dst, name=g.name)
+
+
+def mycielskian(order: int, name: str = "") -> CSRGraph:
+    """``mycielskian(k)`` following SuiteSparse numbering: M2 = K2,
+    M(k+1) = Mycielski(Mk).  n = 3 * 2^(k-2) - 1."""
+    if order < 2:
+        raise ValueError("order must be >= 2")
+    g = from_edge_list(2, [0], [1], name=name or f"mycielskian{order}")
+    for _ in range(order - 2):
+        g = mycielski_step(g)
+    return g.with_name(name or f"mycielskian{order}")

@@ -1,0 +1,97 @@
+"""Skewed-degree generators: Chung-Lu, preferential-attachment trees,
+and small-world rings.
+
+Stand-ins for the paper's social/web/bio graphs (Orkut, hollywood09,
+products, citation, ppa, vasStokes4M, cage15, kmerU1a): the degree
+*distribution* is the property that drives coarsening behaviour
+(stalling, two-hop benefit, dedup-bin imbalance), so each generator
+targets a distribution family rather than a specific dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.build import from_edge_list, preprocess
+from ..csr.graph import CSRGraph
+from ..types import VI
+
+__all__ = ["chung_lu", "ba_tree", "watts_strogatz"]
+
+
+def chung_lu(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.3,
+    seed: int = 0,
+    name: str = "",
+) -> CSRGraph:
+    """Chung-Lu power-law graph: expected degrees ``~ i^(-1/(exponent-1))``.
+
+    Edges are sampled endpoint-by-endpoint proportionally to the target
+    weights (m = n * avg_degree / 2 samples; duplicates/loops merge), so
+    realised degrees follow the weight sequence in expectation with the
+    requested power-law tail exponent.
+    """
+    rng = np.random.default_rng(seed)
+    gamma = 1.0 / (exponent - 1.0)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-gamma)
+    p = weights / weights.sum()
+    m = int(n * avg_degree / 2)
+    src = rng.choice(n, size=m, p=p).astype(VI)
+    dst = rng.choice(n, size=m, p=p).astype(VI)
+    g = from_edge_list(n, src, dst, name=name or f"chunglu-{n}")
+    return preprocess(g).with_name(g.name)
+
+
+def ba_tree(n: int, seed: int = 0, name: str = "", bias: float = 1.0) -> CSRGraph:
+    """Attachment tree: avg degree ~2 with tunable hub skew.
+
+    The kmerU1a stand-in: extremely sparse (a tree) yet skewed.  With
+    probability ``bias`` a new vertex attaches preferentially (uniform
+    sample of the endpoint multiset = proportional-to-degree); otherwise
+    uniformly.  ``bias=1`` is pure Barabasi-Albert (skew ~ sqrt(n)/2);
+    lower values tame the hubs toward kmer-like skew (~17).
+    """
+    rng = np.random.default_rng(seed)
+    if n < 2:
+        return from_edge_list(n, [], [], name=name or f"batree-{n}")
+    endpoints = np.zeros(2 * (n - 1), dtype=VI)
+    src = np.zeros(n - 1, dtype=VI)
+    endpoints[0] = 0
+    endpoints[1] = 1
+    src[0] = 0
+    filled = 2
+    picks = rng.integers(0, 1 << 62, size=n)  # pre-drawn randomness
+    pref = rng.random(n) < bias
+    for t in range(2, n):
+        if pref[t]:
+            src[t - 1] = endpoints[picks[t] % filled]
+        else:
+            src[t - 1] = picks[t] % t
+        endpoints[filled] = src[t - 1]
+        endpoints[filled + 1] = t
+        filled += 2
+    dst = np.arange(1, n, dtype=VI)
+    return from_edge_list(n, src, dst, name=name or f"batree-{n}")
+
+
+def watts_strogatz(
+    n: int, k: int = 16, p: float = 0.1, seed: int = 0, name: str = ""
+) -> CSRGraph:
+    """Small-world ring lattice with rewiring: low skew, high clustering
+    (the cage15-like "regular but not mesh" stand-in)."""
+    rng = np.random.default_rng(seed)
+    base = np.arange(n, dtype=VI)
+    srcs, dsts = [], []
+    for off in range(1, k // 2 + 1):
+        srcs.append(base)
+        dsts.append((base + off) % n)
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    rewire = rng.random(len(src)) < p
+    dst = dst.copy()
+    dst[rewire] = rng.integers(0, n, size=int(rewire.sum()))
+    g = from_edge_list(n, src, dst, name=name or f"ws-{n}")
+    return preprocess(g).with_name(g.name)

@@ -1,0 +1,29 @@
+"""Random geometric graphs (the paper's rgg24 / weak-scaling rgg family).
+
+Points uniform in the unit square, edges between pairs within the radius
+that yields the requested expected average degree (for uniform points,
+``E[deg] = n * pi * r^2``).  Built with a KD-tree pair query, so
+generation is O(n log n + m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..csr.build import from_edge_list, preprocess
+from ..csr.graph import CSRGraph
+
+__all__ = ["random_geometric"]
+
+
+def random_geometric(
+    n: int, avg_degree: float = 15.0, seed: int = 0, name: str = ""
+) -> CSRGraph:
+    """RGG with expected average degree ``avg_degree``; largest component."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    radius = float(np.sqrt(avg_degree / (np.pi * n)))
+    pairs = cKDTree(pts).query_pairs(radius, output_type="ndarray")
+    g = from_edge_list(n, pairs[:, 0], pairs[:, 1], name=name or f"rgg-{n}")
+    return preprocess(g).with_name(g.name)

@@ -1,0 +1,62 @@
+"""Road-network-like graphs (the europeOsm stand-in).
+
+Road networks are nearly planar, dominated by degree-2 chain vertices
+(polyline sampling), with sparse intersections — average degree ~2.1 and
+moderate skew.  We mimic this with a 2D grid whose edges are thinned to
+a random spanning structure plus a few extras, then chain-subdivided.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.build import from_edge_list, preprocess
+from ..csr.graph import CSRGraph
+from ..types import VI
+
+__all__ = ["road_like"]
+
+
+def road_like(n_target: int, seed: int = 0, name: str = "", subdivide: int = 3) -> CSRGraph:
+    """Thinned grid + chain subdivision, ~``n_target`` vertices.
+
+    ``subdivide`` inserts that many degree-2 vertices per surviving grid
+    edge, pushing the average degree toward 2 as in OSM extracts.
+    """
+    rng = np.random.default_rng(seed)
+    base_n = max(4, n_target // (1 + subdivide))
+    side = max(2, int(np.sqrt(base_n)))
+    nb = side * side
+
+    def gid(i, j):
+        return i * side + j
+
+    src, dst = [], []
+    for i in range(side):
+        for j in range(side):
+            if i + 1 < side:
+                src.append(gid(i, j))
+                dst.append(gid(i + 1, j))
+            if j + 1 < side:
+                src.append(gid(i, j))
+                dst.append(gid(i, j + 1))
+    src = np.array(src, dtype=VI)
+    dst = np.array(dst, dtype=VI)
+    # thin to ~55% of grid edges (keeps a giant component with sparse loops)
+    keep = rng.random(len(src)) < 0.55
+    src, dst = src[keep], dst[keep]
+
+    if subdivide > 0:
+        # replace each edge u-v with a chain u - c1 - ... - ck - v
+        k = subdivide
+        chain_ids = nb + np.arange(len(src) * k, dtype=VI).reshape(len(src), k)
+        s_parts = [src] + [chain_ids[:, i] for i in range(k)]
+        d_parts = [chain_ids[:, 0]] + [
+            chain_ids[:, i + 1] for i in range(k - 1)
+        ] + [dst]
+        src = np.concatenate(s_parts)
+        dst = np.concatenate(d_parts)
+        nb = nb + len(chain_ids) * k
+
+    g = from_edge_list(nb, src, dst, name=name or f"road-{n_target}")
+    return preprocess(g).with_name(g.name)

@@ -1,0 +1,82 @@
+"""Simulated atomic operations on NumPy arrays.
+
+The reference transcriptions of the paper's pseudocode (Algorithms 4-6)
+use these helpers directly; since the simulation serialises races, the
+helpers are plain read-modify-writes with CAS semantics.  The vectorised
+production kernels emulate whole *batches* of atomics with the
+first-winner helpers below, which resolve many concurrent operations on
+the same locations in one shot while preserving "exactly one winner per
+location" semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cas",
+    "fetch_add",
+    "atomic_min",
+    "first_winner_cas",
+    "batch_fetch_add",
+]
+
+
+def cas(arr: np.ndarray, idx: int, expected, desired) -> bool:
+    """Compare-and-swap ``arr[idx]``: set to ``desired`` iff currently
+    ``expected``.  Returns True on success (the paper's AtomicCAS returns
+    the old value; callers here test equality with ``expected``)."""
+    if arr[idx] == expected:
+        arr[idx] = desired
+        return True
+    return False
+
+
+def fetch_add(arr: np.ndarray, idx: int, delta=1):
+    """Atomically add ``delta`` to ``arr[idx]``; return the *old* value."""
+    old = arr[idx]
+    arr[idx] = old + delta
+    return old
+
+
+def atomic_min(arr: np.ndarray, idx: int, value) -> bool:
+    """Atomic min; True if ``value`` became the new minimum."""
+    if value < arr[idx]:
+        arr[idx] = value
+        return True
+    return False
+
+
+def first_winner_cas(
+    arr: np.ndarray, idx: np.ndarray, desired: np.ndarray, expected
+) -> np.ndarray:
+    """Resolve a batch of concurrent CAS operations.
+
+    Each lane ``k`` attempts ``CAS(arr[idx[k]], expected, desired[k])``.
+    Lanes are already in race order (earlier lane wins ties on the same
+    location).  Returns a boolean success mask and applies the winning
+    writes to ``arr`` in place.
+    """
+    ok = arr[idx] == expected
+    if not ok.any():
+        return ok
+    # Among lanes targeting the same location, only the first succeeds.
+    # np.unique returns the first occurrence index for stable ordering.
+    cand = np.flatnonzero(ok)
+    _, first = np.unique(idx[cand], return_index=True)
+    winners = cand[first]
+    mask = np.zeros(len(idx), dtype=bool)
+    mask[winners] = True
+    arr[idx[winners]] = desired[winners]
+    return mask
+
+
+def batch_fetch_add(counter: np.ndarray, count: int) -> np.ndarray:
+    """Simulate ``count`` concurrent AtomicIncr on a scalar counter.
+
+    Returns the ``count`` old values (contiguous ids); the counter is a
+    length-1 array so the update is visible to the caller.
+    """
+    start = int(counter[0])
+    counter[0] = start + count
+    return np.arange(start, start + count, dtype=counter.dtype)

@@ -1,0 +1,87 @@
+"""Execution spaces: the Kokkos-style portability layer.
+
+An :class:`ExecSpace` bundles everything a kernel needs to know about
+"where it runs": the machine cost model (pricing + concurrency), a seeded
+random generator (relaxed-order algorithms are randomised), and the cost
+ledger the kernel charges.  Kernels take an ``ExecSpace`` the way Kokkos
+kernels take an execution-space template parameter; swapping
+``gpu_space()`` for ``cpu_space()`` re-runs the same algorithm under GPU
+concurrency/pricing — that is the performance-portability contract.
+
+Concurrency simulation
+----------------------
+Relaxed-order parallel algorithms (Algorithm 4 and friends) race on
+atomics.  We simulate them BSP-style: work is processed in *waves* of
+``machine.concurrency`` lanes.  Within a wave, CAS operations serialise
+in lane order against live data, but reads of bulk state written by the
+same wave observe a *snapshot* taken at wave start — the same visibility
+a GPU grid gives when tens of thousands of threads are in flight.  On
+the CPU model the wave is 64 lanes, so execution is "dynamic scheduling
+with a small chunk size ... close in spirit to [sequential] HEC"
+(Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cost import CostLedger
+from .machine import RYZEN32_CPU, TURING_GPU, MachineModel
+
+__all__ = ["ExecSpace", "gpu_space", "cpu_space", "serial_space"]
+
+
+@dataclass
+class ExecSpace:
+    """Execution context handed to every parallel kernel."""
+
+    machine: MachineModel
+    rng: np.random.Generator
+    ledger: CostLedger = field(default_factory=CostLedger)
+    #: waves of at most this many lanes; None = machine.concurrency
+    wave_size: int | None = None
+
+    @property
+    def concurrency(self) -> int:
+        return self.wave_size if self.wave_size is not None else self.machine.concurrency
+
+    def waves(self, total: int):
+        """Yield ``(start, stop)`` wave bounds covering ``range(total)``."""
+        w = max(1, self.concurrency)
+        for start in range(0, total, w):
+            yield start, min(start + w, total)
+
+    def spawn(self) -> "ExecSpace":
+        """A child space sharing the ledger but with an independent,
+        deterministically-derived RNG stream."""
+        return ExecSpace(self.machine, np.random.default_rng(self.rng.integers(2**63)), self.ledger, self.wave_size)
+
+    def seconds(self, *, exclude: tuple[str, ...] = ()) -> float:
+        """Simulated seconds accumulated on this space's ledger."""
+        return self.machine.ledger_seconds(self.ledger, exclude=exclude)
+
+    def phase_seconds(self, phase: str) -> float:
+        return self.machine.phase_seconds(self.ledger, phase)
+
+
+def gpu_space(seed: int = 0, ledger: CostLedger | None = None) -> ExecSpace:
+    """Execution space modelling the paper's RTX 2080 Ti."""
+    return ExecSpace(TURING_GPU, np.random.default_rng(seed), ledger or CostLedger())
+
+
+def cpu_space(seed: int = 0, ledger: CostLedger | None = None) -> ExecSpace:
+    """Execution space modelling the paper's 32-core Ryzen 3970x."""
+    return ExecSpace(RYZEN32_CPU, np.random.default_rng(seed), ledger or CostLedger())
+
+
+def serial_space(seed: int = 0, ledger: CostLedger | None = None) -> ExecSpace:
+    """Wave size 1: exactly reproduces the sequential algorithms.
+
+    Useful in tests — parallel kernels under ``serial_space`` must match
+    the paper's sequential pseudocode output for the same permutation.
+    """
+    return ExecSpace(
+        RYZEN32_CPU, np.random.default_rng(seed), ledger or CostLedger(), wave_size=1
+    )

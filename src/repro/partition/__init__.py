@@ -1,0 +1,33 @@
+"""Multilevel graph bisection: the paper's primary case study."""
+
+from .baselines import metis_like, mtmetis_like
+from .fm import compute_gains, fm_refine, rebalance_exact
+from .ggg import greedy_graph_growing
+from .metrics import edge_cut, imbalance, partition_weights, validate_partition
+from .multilevel import PartitionResult, multilevel_bisect
+from .applications import conductance, spectral_coordinates, spectral_sweep_cut
+from .recursive import recursive_bisection
+from .spectral import fiedler_dense, fiedler_power_iteration, median_split, spectral_bisect
+
+__all__ = [
+    "multilevel_bisect",
+    "PartitionResult",
+    "edge_cut",
+    "imbalance",
+    "partition_weights",
+    "validate_partition",
+    "fm_refine",
+    "rebalance_exact",
+    "compute_gains",
+    "greedy_graph_growing",
+    "fiedler_power_iteration",
+    "median_split",
+    "spectral_bisect",
+    "metis_like",
+    "mtmetis_like",
+    "recursive_bisection",
+    "spectral_coordinates",
+    "spectral_sweep_cut",
+    "conductance",
+    "fiedler_dense",
+]

@@ -1,0 +1,56 @@
+"""Baseline partitioners: Metis-like and mt-Metis-like recipes.
+
+The paper compares against Metis v5.1.0 and mt-Metis v0.7.2 binaries
+(Table VI).  Those are not available here, so we instantiate their
+published algorithm recipes from our own components (see DESIGN.md):
+
+* ``metis_like``   — sequential HEM coarsening (Algorithm 2) + greedy
+  graph growing + FM refinement: the classic Karypis-Kumar multilevel
+  scheme.
+* ``mtmetis_like`` — parallel HEM with selective two-hop matching
+  (leaves/twins/relatives) + greedy graph growing + FM: the optimised
+  mt-Metis coarsening of LaSalle et al.
+
+Both use the *production* refinement effort — limited boundary FM (two
+passes, short non-improving-move budgets), the Metis family's design
+point of "cheap refinement on a good hierarchy".  The paper's
+partitioner instead pairs HEC with thorough FM, and Table VI measures
+exactly that trade.
+
+Both run on the CPU machine model, as the real tools do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coarsen.hem import hem_serial
+from ..csr.graph import CSRGraph
+from ..parallel.execspace import ExecSpace, cpu_space
+from ..parallel.memory import MemoryTracker
+from .multilevel import PartitionResult, multilevel_bisect
+
+__all__ = ["metis_like", "mtmetis_like"]
+
+
+def metis_like(g: CSRGraph, seed: int = 0, tracker: MemoryTracker | None = None) -> PartitionResult:
+    """Sequential-HEM multilevel bisection (Metis v5 recipe)."""
+    space = cpu_space(seed)
+    space.wave_size = 1  # sequential coarsening, as in the real Metis
+    res = multilevel_bisect(
+        g, space, coarsener="hem", constructor="sort", refinement="fm",
+        tracker=tracker, fm_passes=2, fm_stall_limit=50,
+    )
+    res.stats["sim_seconds"] = space.seconds()
+    return res
+
+
+def mtmetis_like(g: CSRGraph, seed: int = 0, tracker: MemoryTracker | None = None) -> PartitionResult:
+    """Parallel HEM + two-hop multilevel bisection (mt-Metis recipe)."""
+    space = cpu_space(seed)
+    res = multilevel_bisect(
+        g, space, coarsener="mtmetis", constructor="sort", refinement="fm",
+        tracker=tracker, fm_passes=2, fm_stall_limit=50,
+    )
+    res.stats["sim_seconds"] = space.seconds()
+    return res

@@ -1,0 +1,37 @@
+"""Partition quality metrics: edge cut, balance, validity."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr.graph import CSRGraph
+
+__all__ = ["edge_cut", "partition_weights", "imbalance", "validate_partition"]
+
+
+def edge_cut(g: CSRGraph, part: np.ndarray) -> float:
+    """Total weight of edges whose endpoints lie in different parts."""
+    src = g.edge_sources()
+    return float(g.ewgts[part[src] != part[g.adjncy]].sum()) / 2.0
+
+
+def partition_weights(g: CSRGraph, part: np.ndarray, k: int = 2) -> np.ndarray:
+    """Vertex-weight totals per part."""
+    out = np.zeros(k)
+    np.add.at(out, part, g.vwgts)
+    return out
+
+
+def imbalance(g: CSRGraph, part: np.ndarray, k: int = 2) -> float:
+    """``max_i W_i / (W_total / k) - 1`` — 0.0 is perfectly balanced."""
+    w = partition_weights(g, part, k)
+    ideal = w.sum() / k
+    return float(w.max() / ideal - 1.0) if ideal > 0 else 0.0
+
+
+def validate_partition(g: CSRGraph, part: np.ndarray, k: int = 2) -> None:
+    """Raise ``ValueError`` unless ``part`` is a valid k-way assignment."""
+    if len(part) != g.n:
+        raise ValueError("partition length mismatch")
+    if g.n and (part.min() < 0 or part.max() >= k):
+        raise ValueError("part id out of range")

@@ -1,0 +1,49 @@
+"""Dense vector helpers for the spectral kernels (cost-charged)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.cost import KernelCost
+from ..parallel.execspace import ExecSpace
+
+__all__ = ["norm2", "normalize", "deflate_constant", "deflate"]
+
+_B = 8
+
+
+def norm2(x: np.ndarray, space: ExecSpace | None = None, phase: str = "refinement") -> float:
+    """Euclidean norm (one streaming reduction)."""
+    if space is not None:
+        space.ledger.charge(
+            phase, KernelCost(stream_bytes=_B * len(x), flops=2.0 * len(x), launches=1)
+        )
+    return float(np.linalg.norm(x))
+
+
+def normalize(x: np.ndarray, space: ExecSpace | None = None, phase: str = "refinement") -> np.ndarray:
+    """x / ||x||; raises on the zero vector (a stalled iteration)."""
+    nrm = norm2(x, space, phase)
+    if nrm == 0.0:
+        raise ZeroDivisionError("cannot normalize the zero vector")
+    if space is not None:
+        space.ledger.charge(phase, KernelCost(stream_bytes=2.0 * _B * len(x), flops=len(x)))
+    return x / nrm
+
+
+def deflate_constant(x: np.ndarray, space: ExecSpace | None = None, phase: str = "refinement") -> np.ndarray:
+    """Project out the all-ones direction (the Laplacian's null space)."""
+    if space is not None:
+        space.ledger.charge(
+            phase, KernelCost(stream_bytes=3.0 * _B * len(x), flops=3.0 * len(x), launches=1)
+        )
+    return x - x.mean()
+
+
+def deflate(x: np.ndarray, direction: np.ndarray, space: ExecSpace | None = None, phase: str = "refinement") -> np.ndarray:
+    """Project out an arbitrary (unit) direction."""
+    if space is not None:
+        space.ledger.charge(
+            phase, KernelCost(stream_bytes=4.0 * _B * len(x), flops=4.0 * len(x), launches=1)
+        )
+    return x - np.dot(x, direction) * direction

@@ -1,0 +1,44 @@
+"""Shared scalar types and sentinel constants.
+
+The paper uses 1-based vertex identifiers and ``M[u] = 0`` as the
+"unmapped" sentinel.  We use 0-based identifiers throughout and a
+dedicated :data:`UNMAPPED` sentinel of ``-1`` so that coarse vertex ``0``
+is a valid target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Vertex/edge index dtype.  int64 everywhere: the paper's graphs exceed
+#: 2^31 directed edges and the cost model evaluates formulas at paper scale.
+VI = np.int64
+
+#: Edge/vertex weight dtype.  Weights start at 1 on unweighted input graphs
+#: and accumulate under coarsening; float64 keeps SpMV/spectral code simple
+#: and is exact for integer-valued sums below 2^53.
+WT = np.float64
+
+#: Sentinel for "not yet mapped/matched" in mapping arrays.
+UNMAPPED = VI(-1)
+
+#: Default coarsening cutoff from the paper (Section IV): stop when the
+#: coarse vertex count drops to at most this value.
+COARSEN_CUTOFF = 50
+
+#: Paper Section IV: "if the vertex count drops from greater than 50 to
+#: less than 10 in an iteration, we discard the coarsest graph".
+COARSEN_DISCARD = 10
+
+#: Power-iteration stopping criterion (paper Section IV).
+POWER_ITER_TOL = 1e-10
+
+
+def vi_array(x) -> np.ndarray:
+    """Coerce ``x`` to a contiguous :data:`VI` array."""
+    return np.ascontiguousarray(x, dtype=VI)
+
+
+def wt_array(x) -> np.ndarray:
+    """Coerce ``x`` to a contiguous :data:`WT` array."""
+    return np.ascontiguousarray(x, dtype=WT)

@@ -1,0 +1,106 @@
+"""k-way recursive bisection, spectral drawing/clustering (Section III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import gpu_space
+from repro.partition import (
+    conductance,
+    edge_cut,
+    partition_weights,
+    recursive_bisection,
+    spectral_coordinates,
+    spectral_sweep_cut,
+)
+
+from tests.conftest import grid_graph, path_graph, random_connected, two_triangles
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 7, 8])
+    def test_k_parts_assigned(self, k):
+        g = random_connected(300, 450, seed=1)
+        part = recursive_bisection(g, k, gpu_space(0))
+        assert set(np.unique(part).tolist()) == set(range(k))
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_balance_power_of_two(self, k):
+        g = grid_graph(16, 16)
+        part = recursive_bisection(g, k, gpu_space(1))
+        w = np.bincount(part, minlength=k)
+        assert w.max() <= 1.25 * g.n / k
+
+    def test_k3_proportional(self):
+        g = grid_graph(15, 15)
+        part = recursive_bisection(g, 3, gpu_space(2))
+        w = np.bincount(part, minlength=3)
+        assert w.max() <= 1.35 * g.n / 3
+
+    def test_k1_trivial(self):
+        g = path_graph(10)
+        part = recursive_bisection(g, 1, gpu_space(0))
+        assert np.all(part == 0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recursive_bisection(path_graph(4), 0, gpu_space(0))
+
+    def test_kway_cut_reasonable_on_grid(self):
+        g = grid_graph(16, 16)
+        part4 = recursive_bisection(g, 4, gpu_space(3))
+        src = g.edge_sources()
+        cut = float(g.ewgts[part4[src] != part4[g.adjncy]].sum()) / 2.0
+        assert cut <= 4 * 16 * 2  # quadrant cut is 32; allow 4x
+
+
+class TestSpectralDrawing:
+    def test_coordinates_shape_and_orthogonality(self):
+        g = grid_graph(10, 10)
+        xy = spectral_coordinates(g, gpu_space(0))
+        assert xy.shape == (100, 2)
+        assert abs(np.dot(xy[:, 0], xy[:, 1])) < 1e-2
+        assert abs(xy[:, 0].sum()) < 1e-6  # both orthogonal to constant
+        assert abs(xy[:, 1].sum()) < 1e-6
+
+    def test_path_layout_orders_vertices(self):
+        g = path_graph(24)
+        xy = spectral_coordinates(g, gpu_space(1))
+        d = np.diff(xy[:, 0])
+        assert np.all(d > 0) or np.all(d < 0)
+
+    def test_empty_graph(self):
+        from repro.csr import from_edge_list
+
+        xy = spectral_coordinates(from_edge_list(0, [], []), gpu_space(0))
+        assert xy.shape == (0, 2)
+
+
+class TestSweepCut:
+    def test_two_triangles_finds_bridge(self):
+        g = two_triangles()
+        mask, phi = spectral_sweep_cut(g, gpu_space(0), max_iters=2000)
+        assert mask.sum() == 3
+        assert phi == pytest.approx(1.0 / 7.0)
+
+    def test_conductance_definition(self):
+        g = two_triangles()
+        mask = np.array([True, True, True, False, False, False])
+        # cut = 1, vol(S) = 7 (2+2+3)
+        assert conductance(g, mask) == pytest.approx(1.0 / 7.0)
+
+    def test_conductance_degenerate(self):
+        g = path_graph(4)
+        assert conductance(g, np.zeros(4, dtype=bool)) == 1.0
+
+    def test_sweep_allows_imbalance(self):
+        # lollipop: dense blob + long path; sweep should cut the path
+        from repro.csr import from_edge_list
+
+        blob = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        tail = [(7 + i, 8 + i) for i in range(12)]
+        src, dst = zip(*(blob + tail))
+        g = from_edge_list(20, src, dst)
+        mask, phi = spectral_sweep_cut(g, gpu_space(3), max_iters=3000)
+        sizes = (mask.sum(), (~mask).sum())
+        assert min(sizes) > 0
+        assert phi < 0.2  # far better than any balanced cut's conductance

@@ -1,0 +1,269 @@
+"""HEC variants, HEM, two-hop, mt-Metis, MIS2, GOSH."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import (
+    available_coarseners,
+    distance2_mis,
+    get_coarsener,
+    gosh_coarsen,
+    gosh_hec_coarsen,
+    hec2,
+    hec3,
+    hem_parallel,
+    hem_serial,
+    is_matching,
+    match_leaves,
+    match_relatives,
+    match_twins,
+    mis2_coarsen,
+    mtmetis_coarsen,
+    validate_mapping,
+)
+from repro.csr import from_edge_list
+from repro.parallel import cpu_space, gpu_space, serial_space
+from repro.types import UNMAPPED, VI
+
+from tests.conftest import grid_graph, random_connected, star_graph
+
+ALL_COARSENERS = sorted(available_coarseners())
+
+
+class TestRegistry:
+    def test_expected_algorithms_registered(self):
+        assert set(ALL_COARSENERS) == {
+            "hec", "hec2", "hec3", "hem", "mtmetis", "mis2", "gosh",
+            "gosh_hec", "suitor",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown coarsener"):
+            get_coarsener("nope")
+
+
+@pytest.mark.parametrize("name", ALL_COARSENERS)
+class TestAllCoarseners:
+    """Invariants every coarse-mapping algorithm must satisfy."""
+
+    def test_valid_mapping_random(self, name, rc400):
+        mp = get_coarsener(name)(rc400, gpu_space(1))
+        validate_mapping(mp)
+
+    def test_valid_mapping_grid(self, name, grid6):
+        mp = get_coarsener(name)(grid6, gpu_space(2))
+        validate_mapping(mp)
+
+    def test_progress_on_random(self, name, rc400):
+        mp = get_coarsener(name)(rc400, gpu_space(3))
+        assert mp.n_c < rc400.n
+
+    def test_deterministic_per_seed(self, name, rc100):
+        a = get_coarsener(name)(rc100, gpu_space(5))
+        b = get_coarsener(name)(rc100, gpu_space(5))
+        assert np.array_equal(a.m, b.m)
+
+    def test_cpu_space_works(self, name, rc100):
+        mp = get_coarsener(name)(rc100, cpu_space(1))
+        validate_mapping(mp)
+
+
+class TestHECVariants:
+    def test_hec3_collapses_mutual_pairs(self):
+        # heavy mutual pair 0-1; 2 and 3 hang off with light edges
+        g = from_edge_list(4, [0, 0, 1], [1, 2, 3], [9.0, 1.0, 1.0])
+        for seed in range(4):
+            mp = hec3(g, gpu_space(seed))
+            assert mp.m[0] == mp.m[1]
+            assert mp.stats["mutual_pairs"] >= 1
+
+    def test_hec2_keeps_mutual_pairs_apart(self):
+        g = from_edge_list(4, [0, 0, 1], [1, 2, 3], [9.0, 1.0, 1.0])
+        mp = hec2(g, gpu_space(0))
+        assert mp.m[0] != mp.m[1]
+
+    def test_hec2_slower_coarsening_than_hec3(self, rc400):
+        """The 2-cycle collapse is what HEC2 lacks (Section IV-A)."""
+        r3 = [hec3(rc400, gpu_space(s)).n_c for s in range(3)]
+        r2 = [hec2(rc400, gpu_space(s)).n_c for s in range(3)]
+        assert np.mean(r2) >= np.mean(r3)
+
+    def test_hec2_predictable_count(self, rc100):
+        """HEC2's coarse count is the number of distinct heavy-targets
+        plus isolated vertices — fully determined by H."""
+        from repro.coarsen import heavy_neighbors
+
+        mp = hec2(rc100, gpu_space(7))
+        h = heavy_neighbors(rc100)
+        assert mp.n_c == len(np.unique(h[h >= 0]))
+
+
+class TestHEM:
+    def test_serial_is_matching(self, rc400):
+        assert is_matching(hem_serial(rc400, serial_space(0)))
+
+    def test_parallel_is_matching(self, rc400):
+        assert is_matching(hem_parallel(rc400, gpu_space(0)))
+
+    def test_ratio_at_most_two(self, rc400):
+        mp = hem_parallel(rc400, gpu_space(1))
+        assert mp.coarsening_ratio() <= 2.0 + 1e-9
+
+    def test_star_stalls_into_singletons(self, star10):
+        """Leaves can never match each other: 1 pair + 9 singletons."""
+        mp = hem_parallel(star10, gpu_space(0))
+        sizes = mp.aggregate_sizes()
+        assert (sizes == 2).sum() == 1
+        assert (sizes == 1).sum() == 9
+
+    def test_heaviest_unmatched_preferred(self):
+        # path 0-1-2 with heavy 0-1: whichever endpoint is visited first,
+        # the result is a matching covering edge (0,1) or — only when 2
+        # is visited first and grabs 1 — edge (1,2)
+        g = from_edge_list(3, [0, 1], [1, 2], [9.0, 1.0])
+        saw_heavy = False
+        for seed in range(8):
+            mp = hem_serial(g, serial_space(seed))
+            pairs = {tuple(sorted(np.flatnonzero(mp.m == c))) for c in range(mp.n_c)}
+            assert pairs <= {(0, 1), (2,), (1, 2), (0,)}
+            saw_heavy |= (0, 1) in pairs
+        assert saw_heavy  # the heavy edge must win in some visit orders
+
+
+class TestTwoHop:
+    def _star_with_leaves(self, k=8):
+        return star_graph(k)
+
+    def test_leaves_pair_up(self):
+        g = self._star_with_leaves(8)
+        m = np.full(g.n, UNMAPPED, dtype=VI)
+        m[0] = 0  # hub pre-matched
+        counter = np.array([1], dtype=VI)
+        got = match_leaves(g, m, counter, gpu_space(0))
+        assert got == 8
+        sizes = np.bincount(m[1:])
+        assert np.all(sizes[sizes > 0] == 2)
+
+    def test_leaves_odd_one_out(self):
+        g = self._star_with_leaves(5)
+        m = np.full(g.n, UNMAPPED, dtype=VI)
+        m[0] = 0
+        counter = np.array([1], dtype=VI)
+        got = match_leaves(g, m, counter, gpu_space(0))
+        assert got == 4
+        assert (m == UNMAPPED).sum() == 1
+
+    def test_twins_matched(self):
+        # vertices 2 and 3 have identical neighbourhoods {0, 1}
+        g = from_edge_list(4, [0, 0, 1, 1], [2, 3, 2, 3])
+        m = np.full(4, UNMAPPED, dtype=VI)
+        m[0], m[1] = 0, 1
+        counter = np.array([2], dtype=VI)
+        got = match_twins(g, m, counter, gpu_space(0))
+        assert got == 2
+        assert m[2] == m[3]
+
+    def test_twins_require_identical_rows(self):
+        # 2 ~ {0,1}, 3 ~ {0} : not twins
+        g = from_edge_list(4, [0, 0, 1], [2, 3, 2])
+        m = np.full(4, UNMAPPED, dtype=VI)
+        m[0], m[1] = 0, 1
+        counter = np.array([2], dtype=VI)
+        match_twins(g, m, counter, gpu_space(0))
+        assert m[2] == UNMAPPED or m[2] != m[3]
+
+    def test_relatives_share_intermediary(self):
+        # 1 and 2 share neighbour 0 but are not adjacent
+        g = from_edge_list(3, [0, 0], [1, 2])
+        m = np.full(3, UNMAPPED, dtype=VI)
+        m[0] = 0
+        counter = np.array([1], dtype=VI)
+        got = match_relatives(g, m, counter, gpu_space(0))
+        assert got == 2
+        assert m[1] == m[2]
+
+    def test_mtmetis_beats_plain_hem_on_star(self, star10):
+        hem = hem_parallel(star10, gpu_space(0))
+        mtm = mtmetis_coarsen(star10, gpu_space(0))
+        assert mtm.n_c < hem.n_c  # leaves got paired
+        assert is_matching(mtm)
+
+    def test_mtmetis_stats(self, star10):
+        mp = mtmetis_coarsen(star10, gpu_space(0))
+        assert "hem_unmatched" in mp.stats
+        assert mp.stats.get("leaves", 0) > 0
+
+
+class TestMIS2:
+    def test_roots_distance2_independent(self, rc100):
+        mask = distance2_mis(rc100, gpu_space(0))
+        roots = set(np.flatnonzero(mask).tolist())
+        assert roots
+        for r in roots:
+            for v in rc100.neighbors(r):
+                assert int(v) not in roots  # distance 1
+                for w in rc100.neighbors(int(v)):
+                    if int(w) != r:
+                        assert int(w) not in roots  # distance 2
+
+    def test_maximality(self, rc100):
+        """Every vertex is within distance 2 of a root."""
+        mask = distance2_mis(rc100, gpu_space(1))
+        covered = mask.copy()
+        for _ in range(2):
+            nxt = covered.copy()
+            for u in range(rc100.n):
+                if covered[rc100.neighbors(u)].any():
+                    nxt[u] = True
+            covered = nxt
+        assert covered.all()
+
+    def test_most_aggressive(self, rc400):
+        """MIS2 coarsens hardest (Table IV: fewest levels)."""
+        mis = mis2_coarsen(rc400, gpu_space(0))
+        from repro.coarsen import hec_parallel
+
+        hec = hec_parallel(rc400, gpu_space(0))
+        assert mis.n_c < hec.n_c
+
+    def test_aggregates_connected_to_root(self, grid6):
+        mp = mis2_coarsen(grid6, gpu_space(2))
+        validate_mapping(mp)
+
+
+class TestGOSH:
+    def test_hub_never_joins_hub_cluster(self):
+        # two hubs (0, 1) sharing leaves; hubs must stay apart
+        k = 20
+        src = [0] * k + [1] * k + [0]
+        dst = list(range(2, 2 + k)) + list(range(2, 2 + k)) + [1]
+        g = from_edge_list(2 + k, src, dst)
+        mp = gosh_coarsen(g, gpu_space(0))
+        assert mp.m[0] != mp.m[1]
+
+    def test_gosh_hec_hub_breaks(self):
+        k = 20
+        src = [0] * k + [1] * k + [0]
+        dst = list(range(2, 2 + k)) + list(range(2, 2 + k)) + [1]
+        g = from_edge_list(2 + k, src, dst)
+        mp = gosh_hec_coarsen(g, gpu_space(0))
+        assert mp.m[0] != mp.m[1]
+        assert mp.stats["hub_breaks"] > 0
+
+    def test_gosh_hec_weight_aware(self):
+        """The hybrid contracts heavy edges; GOSH cannot see weights."""
+        g = from_edge_list(4, [0, 1, 2], [1, 2, 3], [10.0, 1.0, 10.0])
+        mp = gosh_hec_coarsen(g, gpu_space(0))
+        assert mp.m[0] == mp.m[1]
+        assert mp.m[2] == mp.m[3]
+
+    def test_gosh_rounds_bounded(self, rc400):
+        mp = gosh_coarsen(rc400, gpu_space(0))
+        assert mp.stats["rounds"] < 60
+
+    def test_gosh_capped_absorption(self, grid6):
+        from repro.coarsen.gosh import _ABSORB_CAP
+
+        mp = gosh_coarsen(grid6, gpu_space(1))
+        # on a low-skew grid no hub exists, so clusters stay small
+        assert mp.aggregate_sizes().max() <= _ABSORB_CAP * mp.stats["rounds"] + 1

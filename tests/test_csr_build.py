@@ -1,0 +1,94 @@
+"""Builders: symmetrisation, dedup, self-loop handling, preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.csr import from_edge_list, from_scipy, preprocess, validate
+
+
+class TestFromEdgeList:
+    def test_symmetrize(self):
+        g = from_edge_list(3, [0], [1])
+        assert g.m == 1
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+
+    def test_self_loops_dropped(self):
+        g = from_edge_list(3, [0, 1, 2], [0, 2, 2])
+        assert g.m == 1
+        assert g.degree(0) == 0
+
+    def test_duplicate_edges_max_weight(self):
+        g = from_edge_list(2, [0, 0, 1], [1, 1, 0], [3.0, 7.0, 5.0])
+        assert g.m == 1
+        assert g.edge_weights(0)[0] == 7.0
+
+    def test_duplicate_edges_sum_weight(self):
+        g = from_edge_list(2, [0, 0], [1, 1], [3.0, 7.0], sum_duplicates=True)
+        assert g.edge_weights(0)[0] == 10.0
+
+    def test_presymmetrized_input(self):
+        g = from_edge_list(2, [0, 1], [1, 0], symmetrize=False)
+        assert g.m == 1
+        validate(g)
+
+    def test_rows_sorted(self):
+        g = from_edge_list(5, [0, 0, 0], [4, 2, 3])
+        assert list(g.neighbors(0)) == [2, 3, 4]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edge_list(3, [0], [3])
+        with pytest.raises(ValueError, match="out of range"):
+            from_edge_list(3, [-1], [0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            from_edge_list(3, [0, 1], [1])
+
+    def test_empty_edge_list(self):
+        g = from_edge_list(4, [], [])
+        assert g.n == 4
+        assert g.m == 0
+        validate(g)
+
+    def test_vwgts_passthrough(self):
+        g = from_edge_list(2, [0], [1], vwgts=[2.0, 3.0])
+        assert list(g.vwgts) == [2.0, 3.0]
+
+    def test_validates(self, rc400):
+        validate(rc400)
+
+
+class TestFromScipy:
+    def test_roundtrip(self, grid6):
+        g2 = from_scipy(grid6.to_scipy())
+        assert np.array_equal(g2.xadj, grid6.xadj)
+        assert np.array_equal(g2.adjncy, grid6.adjncy)
+
+    def test_asymmetric_input_symmetrized(self):
+        import scipy.sparse as sp
+
+        mat = sp.csr_array(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        g = from_scipy(mat)
+        assert g.m == 1
+        validate(g)
+
+
+class TestPreprocess:
+    def test_keeps_connected(self, grid6):
+        assert preprocess(grid6) is grid6
+
+    def test_extracts_largest_component(self):
+        # component {0,1,2} (triangle) and component {3,4}
+        g = from_edge_list(5, [0, 1, 2, 3], [1, 2, 0, 4])
+        p = preprocess(g)
+        assert p.n == 3
+        assert p.m == 3
+        validate(p)
+
+    def test_relabels_contiguously(self):
+        g = from_edge_list(6, [3, 4, 5], [4, 5, 3])  # triangle on {3,4,5}
+        p = preprocess(g)
+        assert p.n == 3
+        assert set(p.adjncy.tolist()) == {0, 1, 2}

@@ -1,0 +1,70 @@
+"""Connected components vs known structure and networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.csr import connected_components, from_edge_list, is_connected, largest_component
+
+from tests.conftest import random_connected, ring_graph
+
+
+class TestKnownStructures:
+    def test_ring_connected(self, ring8):
+        count, labels = connected_components(ring8)
+        assert count == 1
+        assert np.all(labels == 0)
+
+    def test_two_components(self):
+        g = from_edge_list(5, [0, 1, 3], [1, 2, 4])
+        count, labels = connected_components(g)
+        assert count == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices(self):
+        g = from_edge_list(4, [0], [1])
+        count, labels = connected_components(g)
+        assert count == 3
+
+    def test_empty_graph(self):
+        g = from_edge_list(0, [], [])
+        assert is_connected(g)
+        count, _ = connected_components(g)
+        assert count == 0
+
+    def test_single_vertex(self):
+        g = from_edge_list(1, [], [])
+        assert is_connected(g)
+
+    def test_is_connected(self, grid6, star10):
+        assert is_connected(grid6)
+        assert is_connected(star10)
+        assert not is_connected(from_edge_list(3, [0], [1]))
+
+    def test_largest_component_full(self, grid6):
+        assert len(largest_component(grid6)) == grid6.n
+
+    def test_largest_component_partial(self):
+        g = from_edge_list(7, [0, 1, 2, 4], [1, 2, 3, 5])
+        comp = largest_component(g)
+        assert set(comp.tolist()) == {0, 1, 2, 3}
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        edges = rng.integers(0, n, size=(50, 2))
+        g = from_edge_list(n, edges[:, 0], edges[:, 1])
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        nxg.add_edges_from(e for e in edges.tolist() if e[0] != e[1])
+        count, labels = connected_components(g)
+        assert count == nx.number_connected_components(nxg)
+        # label partition must match networkx's partition
+        for comp in nx.connected_components(nxg):
+            comp = list(comp)
+            assert len(set(labels[comp].tolist())) == 1

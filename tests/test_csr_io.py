@@ -1,0 +1,111 @@
+"""I/O: MatrixMarket, npz, edge-list readers."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.csr import (
+    from_edge_list,
+    load_npz,
+    read_edge_list,
+    read_matrix_market,
+    save_npz,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, rc100):
+        path = tmp_path / "g.mtx"
+        write_matrix_market(rc100, path)
+        g = read_matrix_market(path, do_preprocess=False)
+        assert g.n == rc100.n
+        assert g.m == rc100.m
+        assert np.allclose(g.ewgts, rc100.ewgts)
+
+    def test_gzip_roundtrip(self, tmp_path, ring8):
+        path = tmp_path / "g.mtx.gz"
+        write_matrix_market(ring8, path)
+        g = read_matrix_market(path, do_preprocess=False)
+        assert g.m == ring8.m
+
+    def test_pattern_matrix(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% comment line\n"
+            "3 3 2\n2 1\n3 2\n"
+        )
+        g = read_matrix_market(path)
+        assert g.n == 3
+        assert g.m == 2
+        assert np.all(g.ewgts == 1.0)
+
+    def test_negative_values_become_weights(self, tmp_path):
+        path = tmp_path / "v.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 -4.0\n3 1 2.5\n"
+        )
+        g = read_matrix_market(path, do_preprocess=False)
+        assert sorted(set(g.ewgts.tolist())) == [2.5, 4.0]
+
+    def test_preprocess_extracts_component(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "5 5 3\n2 1\n3 2\n5 4\n"
+        )
+        g = read_matrix_market(path)
+        assert g.n == 3  # the triangle-path component
+
+    def test_rejects_nonsquare(self, tmp_path):
+        path = tmp_path / "r.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(path)
+
+    def test_rejects_complex(self, tmp_path):
+        path = tmp_path / "z.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate complex symmetric\n2 2 1\n2 1 1.0 0.0\n")
+        with pytest.raises(ValueError, match="complex"):
+            read_matrix_market(path)
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix market file\n")
+        with pytest.raises(ValueError):
+            read_matrix_market(path)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path, rc100):
+        path = tmp_path / "g.npz"
+        save_npz(rc100, path)
+        g = load_npz(path)
+        assert g.name == rc100.name
+        assert np.array_equal(g.xadj, rc100.xadj)
+        assert np.array_equal(g.adjncy, rc100.adjncy)
+        assert np.allclose(g.ewgts, rc100.ewgts)
+        assert np.allclose(g.vwgts, rc100.vwgts)
+
+
+class TestEdgeList:
+    def test_read(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n0 1\n1 2\n2 0\n")
+        g = read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 3
+
+    def test_weighted(self, tmp_path):
+        path = tmp_path / "w.txt"
+        path.write_text("0 1 5\n1 2 7\n")
+        g = read_edge_list(path, do_preprocess=False)
+        assert sorted(set(g.ewgts.tolist())) == [5.0, 7.0]
+
+    def test_explicit_n(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, n=10, do_preprocess=False)
+        assert g.n == 10

@@ -1,0 +1,136 @@
+"""Structural ops: permutation, subgraphs, validation."""
+
+import numpy as np
+import pytest
+
+from repro.csr import (
+    degree_histogram,
+    from_edge_list,
+    induced_subgraph,
+    laplacian_csr,
+    permute,
+    validate,
+)
+from repro.csr.graph import CSRGraph
+from repro.types import VI, WT
+
+
+class TestPermute:
+    def test_identity(self, grid6):
+        g = permute(grid6, np.arange(grid6.n))
+        assert np.array_equal(g.xadj, grid6.xadj)
+        assert np.array_equal(g.adjncy, grid6.adjncy)
+
+    def test_reverse_roundtrip(self, rc100):
+        perm = np.arange(rc100.n)[::-1].copy()
+        g = permute(permute(rc100, perm), perm)
+        assert np.array_equal(g.xadj, rc100.xadj)
+        assert np.array_equal(g.adjncy, rc100.adjncy)
+        assert np.allclose(g.ewgts, rc100.ewgts)
+
+    def test_preserves_structure(self, rc100):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(rc100.n)
+        g = permute(rc100, perm)
+        validate(g)
+        assert g.m == rc100.m
+        # degree multiset preserved
+        assert sorted(g.degrees().tolist()) == sorted(rc100.degrees().tolist())
+        # specific vertex degree follows the relabelling
+        for u in (0, 5, 50):
+            assert g.degree(perm[u]) == rc100.degree(u)
+
+    def test_vwgts_follow(self):
+        g = from_edge_list(3, [0, 1], [1, 2], vwgts=[1.0, 2.0, 3.0])
+        p = permute(g, np.array([2, 0, 1]))
+        assert list(p.vwgts) == [2.0, 3.0, 1.0]
+
+    def test_invalid_perm_raises(self, ring8):
+        with pytest.raises(ValueError):
+            permute(ring8, np.zeros(8, dtype=int))
+        with pytest.raises(ValueError):
+            permute(ring8, np.arange(7))
+
+
+class TestInducedSubgraph:
+    def test_subgraph_of_grid(self, grid6):
+        sub = induced_subgraph(grid6, np.arange(6))  # first row
+        assert sub.n == 6
+        assert sub.m == 5  # a path
+        validate(sub)
+
+    def test_keeps_weights(self):
+        g = from_edge_list(4, [0, 1, 2], [1, 2, 3], [5.0, 6.0, 7.0])
+        sub = induced_subgraph(g, np.array([1, 2, 3]))
+        assert sorted(sub.ewgts.tolist()) == [6.0, 6.0, 7.0, 7.0]
+
+    def test_empty_selection(self, grid6):
+        sub = induced_subgraph(grid6, np.array([], dtype=int))
+        assert sub.n == 0
+
+
+class TestValidate:
+    def _graph(self, **overrides):
+        base = dict(
+            xadj=np.array([0, 1, 2], dtype=VI),
+            adjncy=np.array([1, 0], dtype=VI),
+            ewgts=np.array([1.0, 1.0], dtype=WT),
+            vwgts=np.array([1.0, 1.0], dtype=WT),
+        )
+        base.update(overrides)
+        return CSRGraph(**base)
+
+    def test_valid_passes(self):
+        validate(self._graph())
+
+    def test_out_of_range_neighbor(self):
+        g = self._graph(adjncy=np.array([1, 5], dtype=VI))
+        with pytest.raises(ValueError):
+            validate(g)
+
+    def test_self_loop(self):
+        g = self._graph(adjncy=np.array([0, 0], dtype=VI))
+        with pytest.raises(ValueError, match="self-loop"):
+            validate(g)
+
+    def test_nonpositive_weight(self):
+        g = self._graph(ewgts=np.array([1.0, 0.0], dtype=WT))
+        with pytest.raises(ValueError, match="weight"):
+            validate(g)
+
+    def test_asymmetric_weight(self):
+        g = self._graph(ewgts=np.array([1.0, 2.0], dtype=WT))
+        with pytest.raises(ValueError, match="symmetric"):
+            validate(g)
+
+    def test_missing_reverse_edge(self):
+        g = CSRGraph(
+            np.array([0, 1, 1], dtype=VI),
+            np.array([1], dtype=VI),
+            np.array([1.0], dtype=WT),
+            np.array([1.0, 1.0], dtype=WT),
+        )
+        with pytest.raises(ValueError):
+            validate(g)
+
+    def test_duplicate_in_row(self):
+        g = CSRGraph(
+            np.array([0, 2, 4], dtype=VI),
+            np.array([1, 1, 0, 0], dtype=VI),
+            np.ones(4, dtype=WT),
+            np.ones(2, dtype=WT),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            validate(g)
+
+
+class TestMisc:
+    def test_degree_histogram(self, star10):
+        hist = degree_histogram(star10)
+        assert hist[1] == 10
+        assert hist[10] == 1
+
+    def test_laplacian_implicit(self, grid6):
+        deg, g = laplacian_csr(grid6)
+        assert g is grid6
+        assert np.allclose(deg, grid6.weighted_degrees())

@@ -1,0 +1,123 @@
+"""Edge cases and failure injection across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import available_coarseners, coarsen_multilevel, get_coarsener, validate_mapping
+from repro.csr import from_edge_list, validate
+from repro.parallel import MemoryTracker, SimulatedOOM, cpu_space, gpu_space, serial_space
+from repro.partition import multilevel_bisect, validate_partition
+
+from tests.conftest import path_graph, random_connected, star_graph
+
+
+class TestTinyGraphs:
+    """Every algorithm must survive degenerate inputs."""
+
+    @pytest.mark.parametrize("name", sorted(available_coarseners()))
+    def test_single_edge(self, name):
+        g = from_edge_list(2, [0], [1])
+        mp = get_coarsener(name)(g, gpu_space(0))
+        validate_mapping(mp)
+        assert mp.n_c >= 1
+
+    @pytest.mark.parametrize("name", sorted(available_coarseners()))
+    def test_triangle(self, name):
+        g = from_edge_list(3, [0, 1, 2], [1, 2, 0])
+        mp = get_coarsener(name)(g, gpu_space(1))
+        validate_mapping(mp)
+
+    @pytest.mark.parametrize("name", sorted(available_coarseners()))
+    def test_path2(self, name):
+        mp = get_coarsener(name)(path_graph(3), gpu_space(2))
+        validate_mapping(mp)
+
+    def test_bisect_tiny(self):
+        g = from_edge_list(2, [0], [1])
+        for refinement in ("fm", "spectral"):
+            res = multilevel_bisect(g, gpu_space(0), refinement=refinement)
+            validate_partition(g, res.part)
+
+    def test_coarsen_below_cutoff_noop(self):
+        g = path_graph(10)
+        h = coarsen_multilevel(g, gpu_space(0), cutoff=50)
+        assert h.levels == 1
+        assert h.coarsest is g
+
+
+class TestWeightExtremes:
+    def test_huge_weight_spread(self):
+        w = [1e-6, 1e6, 1.0, 1e-6]
+        g = from_edge_list(5, [0, 1, 2, 3], [1, 2, 3, 4], w)
+        from repro.coarsen import hec_serial
+
+        mp = hec_serial(g, serial_space(0))
+        validate_mapping(mp)
+        # the dominant edge must contract
+        assert mp.m[1] == mp.m[2]
+
+    def test_weights_survive_two_levels(self):
+        g = random_connected(300, 500, seed=1)
+        h = coarsen_multilevel(g, gpu_space(0))
+        for graph in h.graphs[1:]:
+            validate(graph)
+            assert np.all(graph.ewgts >= 1.0)  # sums of unit weights
+
+
+class TestMachinePortability:
+    """The performance-portability contract: same code, both machines,
+    valid (seed-dependent but structurally equivalent) results."""
+
+    @pytest.mark.parametrize("name", sorted(available_coarseners()))
+    def test_all_algorithms_both_machines(self, name):
+        g = random_connected(150, 250, seed=9)
+        for mk in (gpu_space, cpu_space, serial_space):
+            mp = get_coarsener(name)(g, mk(3))
+            validate_mapping(mp)
+
+    def test_hierarchies_comparable_across_machines(self):
+        g = random_connected(400, 700, seed=2)
+        hg = coarsen_multilevel(g, gpu_space(1))
+        hc = coarsen_multilevel(g, cpu_space(1))
+        # same algorithm, different schedule: similar depth
+        assert abs(hg.levels - hc.levels) <= 2
+
+
+class TestOOMInjection:
+    def test_partition_reports_oom(self):
+        g = random_connected(200, 350, seed=3).with_name("t")
+        t = MemoryTracker(1.0, algorithm="hec", graph="t")
+        with pytest.raises(SimulatedOOM) as e:
+            multilevel_bisect(g, gpu_space(0), tracker=t)
+        assert e.value.algorithm == "hec"
+        assert e.value.demand > e.value.budget
+
+    def test_oom_message_readable(self):
+        err = SimulatedOOM("hem", "Orkut", 12.3e9, 11e9)
+        assert "hem" in str(err)
+        assert "Orkut" in str(err)
+        assert "12.3 GB" in str(err)
+
+    def test_budget_exactly_met_is_fine(self):
+        t = MemoryTracker(1000.0)
+        t.transient(1000.0)  # equal is not over
+        assert t.peak == 1000.0
+
+
+class TestSeedSweeps:
+    """Randomised algorithms must be stable across a seed sweep."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_hec_multilevel_any_seed(self, seed):
+        g = random_connected(250, 400, seed=seed)
+        h = coarsen_multilevel(g, gpu_space(seed))
+        assert h.coarsest.n <= 50
+        for graph in h.graphs:
+            validate(graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_fm_partition_any_seed(self, seed):
+        g = random_connected(250, 400, seed=seed)
+        res = multilevel_bisect(g, gpu_space(seed), refinement="fm")
+        validate_partition(g, res.part)
+        assert res.stats["imbalance"] <= 1.0 / (g.n // 2) + 1e-9

@@ -1,0 +1,52 @@
+"""The examples must run end-to-end (they are the documented entry points)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _run(name: str, *args: str) -> str:
+    out = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "ppa")
+    assert "hierarchy" in out
+    assert "bisection" in out
+
+
+def test_coarsen_visualize(tmp_path):
+    out = _run("coarsen_visualize.py", str(tmp_path))
+    assert "hec" in out
+    assert (tmp_path / "hec.dot").exists()
+    assert (tmp_path / "mis2.dot").exists()
+
+
+def test_hec_anatomy():
+    out = _run("hec_anatomy.py")
+    assert "create" in out
+    assert "pseudoforest" in out
+    assert "two-pass fraction" in out
+
+
+def test_partition_compare():
+    out = _run("partition_compare.py", "ppa", "2")
+    assert "hec+fm" in out
+    assert "metis-like" in out
+
+
+def test_weak_scaling():
+    out = _run("weak_scaling.py", "9", "10")
+    assert "rgg" in out
+    assert "kron" in out

@@ -1,0 +1,114 @@
+"""Suitor matching, ACE weighted aggregation, heap dedup (Section V extras)."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import (
+    ace_coarsen,
+    ace_interpolation,
+    ace_select_representatives,
+    is_matching,
+    suitor_coarsen,
+    suitor_matching,
+    validate_mapping,
+)
+from repro.csr import from_edge_list, validate
+from repro.parallel import gpu_space
+
+from tests.conftest import grid_graph, random_connected, star_graph
+
+
+class TestSuitor:
+    def test_is_matching(self, rc400):
+        mp = suitor_coarsen(rc400, gpu_space(0))
+        validate_mapping(mp)
+        assert is_matching(mp)
+
+    def test_deterministic_regardless_of_seed(self, rc100):
+        a = suitor_coarsen(rc100, gpu_space(0))
+        b = suitor_coarsen(rc100, gpu_space(99))
+        assert np.array_equal(a.m, b.m)
+
+    def test_mutual_suitors_on_heavy_pair(self):
+        g = from_edge_list(4, [0, 1, 2], [1, 2, 3], [10.0, 1.0, 10.0])
+        s = suitor_matching(g)
+        assert s[0] == 1 and s[1] == 0
+        assert s[2] == 3 and s[3] == 2
+        mp = suitor_coarsen(g, gpu_space(0))
+        assert mp.m[0] == mp.m[1]
+        assert mp.m[2] == mp.m[3]
+
+    def test_half_approximation_weight(self):
+        """Suitor's matched weight is >= half the maximum matching weight."""
+        import networkx as nx
+
+        g = random_connected(60, 90, seed=4)
+        mp = suitor_coarsen(g, gpu_space(0))
+        src, dst, w = g.to_coo()
+        matched_w = w[(mp.m[src] == mp.m[dst])].sum() / 2.0
+        nxg = nx.Graph()
+        for a, b, wt in zip(src.tolist(), dst.tolist(), w.tolist()):
+            nxg.add_edge(a, b, weight=wt)
+        opt = nx.max_weight_matching(nxg)
+        opt_w = sum(nxg[a][b]["weight"] for a, b in opt)
+        assert matched_w >= 0.5 * opt_w - 1e-9
+
+    def test_star_pairs_hub_with_single_leaf(self, star10):
+        mp = suitor_coarsen(star10, gpu_space(0))
+        sizes = mp.aggregate_sizes()
+        assert (sizes == 2).sum() == 1
+
+
+class TestACE:
+    def test_representatives_cover(self, rc100):
+        reps = ace_select_representatives(rc100, gpu_space(0))
+        assert 0 < len(reps) < rc100.n
+        # maximality: every non-representative touches a representative
+        in_c = np.zeros(rc100.n, dtype=bool)
+        in_c[reps] = True
+        for u in range(rc100.n):
+            if not in_c[u]:
+                assert in_c[rc100.neighbors(u)].any()
+
+    def test_interpolation_columns_normalised(self, rc100):
+        sp = gpu_space(0)
+        reps = ace_select_representatives(rc100, sp)
+        p = ace_interpolation(rc100, reps, sp)
+        col_mass = np.zeros(rc100.n)
+        np.add.at(col_mass, p.adjncy, p.vals)
+        assert np.allclose(col_mass, 1.0)
+
+    def test_coarse_graph_valid(self, rc100):
+        out = ace_coarsen(rc100, gpu_space(0))
+        validate(out["graph"])
+        assert out["graph"].n == len(out["representatives"])
+
+    def test_densification_observed(self):
+        """The paper's reason for shelving ACE: coarse graphs densify."""
+        g = grid_graph(20, 20)
+        out = ace_coarsen(g, gpu_space(0))
+        assert out["densification"] > 1.2
+
+
+class TestHeapDedup:
+    def test_equals_reference(self):
+        from repro.coarsen import hec_parallel
+        from repro.construct import construct_reference, get_constructor
+
+        g = random_connected(150, 260, seed=6)
+        mp = hec_parallel(g, gpu_space(2))
+        ref = construct_reference(g, mp)
+        out = get_constructor("heap")(g, mp, gpu_space(0))
+        assert np.array_equal(out.xadj, ref.xadj)
+        assert np.array_equal(out.adjncy, ref.adjncy)
+        assert np.allclose(out.ewgts, ref.ewgts)
+
+    def test_charges_heap_ops(self):
+        from repro.coarsen import hec_parallel
+        from repro.construct import get_constructor
+
+        g = random_connected(100, 150, seed=7)
+        mp = hec_parallel(g, gpu_space(1))
+        sp = gpu_space(0)
+        get_constructor("heap")(g, mp, sp)
+        assert sp.ledger.phase("construction").hash_ops > 0

@@ -1,0 +1,148 @@
+"""Heavy Edge Coarsening: Algorithms 3 and 4."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import (
+    classify_heavy_edges,
+    coarsen_multilevel,
+    heavy_neighbors,
+    hec_parallel,
+    hec_serial,
+    mapping_quality,
+    validate_mapping,
+)
+from repro.csr import from_edge_list
+from repro.parallel import cpu_space, gpu_space, serial_space
+
+from tests.conftest import grid_graph, random_connected, ring_graph, star_graph
+
+
+class TestHeavyNeighbors:
+    def test_unweighted_picks_first(self, ring8):
+        h = heavy_neighbors(ring8)
+        # rows are sorted, equal weights: first adjacency entry wins
+        assert h[3] == 2
+        assert h[0] == 1
+
+    def test_weighted_picks_heaviest(self):
+        g = from_edge_list(3, [0, 0], [1, 2], [1.0, 9.0])
+        h = heavy_neighbors(g)
+        assert h[0] == 2
+        assert h[1] == 0
+        assert h[2] == 0
+
+    def test_isolated_gets_sentinel(self):
+        g = from_edge_list(3, [0], [1])
+        assert heavy_neighbors(g)[2] == -1
+
+    def test_ties_resolve_to_lowest_id(self):
+        g = from_edge_list(4, [1, 1, 1], [0, 2, 3], [5.0, 5.0, 5.0])
+        assert heavy_neighbors(g)[1] == 0
+
+    def test_charges_cost(self, rc100):
+        sp = gpu_space(0)
+        heavy_neighbors(rc100, sp)
+        assert sp.ledger.phase("mapping").stream_bytes > 0
+
+
+class TestSerialHEC:
+    def test_valid_mapping(self, rc100):
+        mp = hec_serial(rc100, serial_space(0))
+        validate_mapping(mp)
+
+    def test_star_collapses(self, star10):
+        mp = hec_serial(star10, serial_space(0))
+        # every leaf's heavy neighbour is the hub: one aggregate
+        assert mp.n_c == 1
+
+    def test_heavy_edges_contracted(self):
+        # two heavy pairs joined by light edges must contract pairwise
+        g = from_edge_list(4, [0, 1, 2], [1, 2, 3], [10.0, 1.0, 10.0])
+        mp = hec_serial(g, serial_space(1))
+        assert mp.m[0] == mp.m[1]
+        assert mp.m[2] == mp.m[3]
+        assert mp.n_c == 2
+
+    def test_isolated_vertices_singletons(self):
+        g = from_edge_list(4, [0], [1])
+        mp = hec_serial(g, serial_space(0))
+        validate_mapping(mp)
+        assert mp.m[2] != mp.m[3]
+
+
+class TestParallelHEC:
+    def test_serial_equivalence_wave1(self):
+        """Under wave size 1 the parallel kernel IS Algorithm 3."""
+        for seed in range(5):
+            g = random_connected(120, 200, seed=seed)
+            a = hec_serial(g, serial_space(seed))
+            b = hec_parallel(g, serial_space(seed))
+            assert np.array_equal(a.m, b.m)
+            assert a.n_c == b.n_c
+
+    @pytest.mark.parametrize("space_fn", [gpu_space, cpu_space])
+    def test_valid_on_random(self, space_fn, rc400):
+        mp = hec_parallel(rc400, space_fn(2))
+        validate_mapping(mp)
+        assert 1 < mp.n_c < rc400.n
+
+    def test_deterministic_per_seed(self, rc100):
+        a = hec_parallel(rc100, gpu_space(4))
+        b = hec_parallel(rc100, gpu_space(4))
+        assert np.array_equal(a.m, b.m)
+
+    def test_most_resolve_in_two_passes(self, rc400):
+        """Paper Section IV-A: 99.4% of vertices resolve within 2 passes."""
+        mp = hec_parallel(rc400, gpu_space(0))
+        rpp = mp.stats["resolved_per_pass"]
+        assert sum(rpp[:2]) / sum(rpp) > 0.95
+
+    def test_grid_coarsens(self, grid6):
+        mp = hec_parallel(grid6, gpu_space(1))
+        validate_mapping(mp)
+        assert mp.n_c < grid6.n
+        assert mp.coarsening_ratio() > 1.5
+
+    def test_mutual_pairs_contract(self):
+        # two mutual heavy pairs joined by a light edge: in every visit
+        # order each pair must contract (no third vertex can steal an
+        # endpoint, since both pairs are each other's heavy neighbours)
+        g = from_edge_list(4, [0, 2, 1], [1, 3, 2], [9.0, 9.0, 1.0])
+        for seed in range(6):
+            mp = hec_parallel(g, gpu_space(seed))
+            assert mp.m[0] == mp.m[1]
+            assert mp.m[2] == mp.m[3]
+            assert mp.n_c == 2
+
+    def test_disconnected_isolated(self):
+        g = from_edge_list(5, [0], [1])
+        mp = hec_parallel(g, gpu_space(0))
+        validate_mapping(mp)
+        # 2,3,4 isolated: distinct singletons
+        assert len({int(mp.m[2]), int(mp.m[3]), int(mp.m[4])}) == 3
+
+    def test_contracted_weight_dominates_random(self, rc400):
+        """HEC must contract heavier-than-average edges."""
+        mp = hec_parallel(rc400, gpu_space(3))
+        q = mapping_quality(rc400, mp)
+        src, dst, w = rc400.to_coo()
+        # average weight of contracted edges >= global average weight
+        intra_mask = mp.m[src] == mp.m[dst]
+        assert w[intra_mask].mean() >= w.mean()
+
+
+class TestClassifyHeavyEdges:
+    def test_counts_partition_processed_vertices(self, rc100):
+        out = classify_heavy_edges(rc100, serial_space(0))
+        counts = out["counts"]
+        assert counts["create"] + counts["inherit"] + counts["skip"] == rc100.n
+
+    def test_creates_match_aggregates(self, rc100):
+        out = classify_heavy_edges(rc100, serial_space(0))
+        assert out["counts"]["create"] == out["mapping"].n_c
+
+    def test_pseudoforest_outdegree_one(self, rc100):
+        digraph = out = classify_heavy_edges(rc100, serial_space(0))["heavy_digraph"]
+        sources = [u for u, _ in digraph]
+        assert len(sources) == len(set(sources)) == rc100.n

@@ -1,0 +1,187 @@
+"""Mapping utilities and the Algorithm-1 multilevel driver."""
+
+import numpy as np
+import pytest
+
+from repro.coarsen import (
+    CoarseMapping,
+    coarsen_multilevel,
+    is_matching,
+    mapping_quality,
+    pointer_jump,
+    relabel,
+    validate_mapping,
+)
+from repro.csr import validate
+from repro.parallel import MemoryTracker, SimulatedOOM, gpu_space
+from repro.types import VI
+
+from tests.conftest import grid_graph, random_connected, star_graph
+
+
+class TestRelabel:
+    def test_compresses(self):
+        m, n_c = relabel(np.array([10, 5, 10, 7]))
+        assert n_c == 3
+        assert m[0] == m[2]
+        assert len(set(m.tolist())) == 3
+        assert m.max() == 2
+
+    def test_idempotent(self):
+        m1, _ = relabel(np.array([3, 1, 3]))
+        m2, _ = relabel(m1)
+        assert np.array_equal(m1, m2)
+
+    def test_charges(self):
+        sp = gpu_space(0)
+        relabel(np.arange(100), sp)
+        assert sp.ledger.phase("mapping").sort_key_ops > 0
+
+
+class TestPointerJump:
+    def test_chains_resolve(self):
+        m = np.array([1, 2, 2, 2], dtype=VI)  # 0 -> 1 -> 2 (root)
+        out = pointer_jump(m)
+        assert list(out) == [2, 2, 2, 2]
+
+    def test_deep_chain(self):
+        n = 100
+        m = np.arange(1, n + 1, dtype=VI)
+        m[-1] = n - 1  # single root at the end
+        out = pointer_jump(m)
+        assert np.all(out == n - 1)
+
+    def test_cycle_raises(self):
+        with pytest.raises(RuntimeError, match="cycle"):
+            pointer_jump(np.array([1, 0], dtype=VI))
+
+
+class TestMappingType:
+    def test_aggregate_sizes(self):
+        mp = CoarseMapping(np.array([0, 0, 1]), 2)
+        assert list(mp.aggregate_sizes()) == [2, 1]
+        assert mp.coarsening_ratio() == pytest.approx(1.5)
+
+    def test_validate_rejects_sentinel(self):
+        with pytest.raises(ValueError, match="unmapped"):
+            validate_mapping(CoarseMapping(np.array([0, -1]), 1))
+
+    def test_validate_rejects_gap(self):
+        with pytest.raises(ValueError, match="surjective"):
+            validate_mapping(CoarseMapping(np.array([0, 2]), 3))
+
+    def test_validate_rejects_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            validate_mapping(CoarseMapping(np.array([0, 5]), 2))
+
+    def test_empty_ok(self):
+        validate_mapping(CoarseMapping(np.array([], dtype=VI), 0))
+
+    def test_is_matching(self):
+        assert is_matching(CoarseMapping(np.array([0, 0, 1]), 2))
+        assert not is_matching(CoarseMapping(np.array([0, 0, 0]), 1))
+
+    def test_quality_fields(self, rc100):
+        from repro.coarsen import hec_parallel
+
+        mp = hec_parallel(rc100, gpu_space(0))
+        q = mapping_quality(rc100, mp)
+        assert 0 <= q["contracted_fraction"] <= 1
+        assert q["intra_weight"] + 1e-9 <= q["total_weight"] + 1e-9
+
+
+class TestMultilevelDriver:
+    def test_reaches_cutoff(self):
+        g = random_connected(500, 800, seed=1)
+        h = coarsen_multilevel(g, gpu_space(0), cutoff=50)
+        assert h.coarsest.n <= 50 or h.stats["discarded_overshoot"]
+        assert h.levels >= 2
+
+    def test_every_level_valid(self):
+        g = random_connected(300, 500, seed=2)
+        h = coarsen_multilevel(g, gpu_space(1))
+        for graph in h.graphs:
+            validate(graph)
+        for mp in h.mappings:
+            validate_mapping(mp)
+
+    def test_vertex_weight_conserved(self):
+        g = random_connected(300, 500, seed=3)
+        h = coarsen_multilevel(g, gpu_space(2))
+        totals = [graph.total_vertex_weight() for graph in h.graphs]
+        assert all(t == pytest.approx(totals[0]) for t in totals)
+
+    def test_edge_weight_conservation(self):
+        """W(level k+1) = W(level k) - intra-aggregate weight."""
+        g = random_connected(300, 500, seed=4)
+        h = coarsen_multilevel(g, gpu_space(3))
+        for fine, mp, coarse in zip(h.graphs, h.mappings, h.graphs[1:]):
+            src, dst, w = fine.to_coo()
+            intra = w[mp.m[src] == mp.m[dst]].sum() / 2.0
+            assert coarse.total_edge_weight() == pytest.approx(
+                fine.total_edge_weight() - intra
+            )
+
+    def test_sizes_monotone(self):
+        g = random_connected(500, 900, seed=5)
+        h = coarsen_multilevel(g, gpu_space(4))
+        ns = [graph.n for graph in h.graphs]
+        assert all(a > b for a, b in zip(ns, ns[1:]))
+
+    def test_project_identity(self):
+        g = random_connected(200, 300, seed=6)
+        h = coarsen_multilevel(g, gpu_space(5))
+        x = np.arange(h.coarsest.n, dtype=float)
+        fine_x = h.project(x)
+        assert len(fine_x) == g.n
+        # projection is exactly composition of the mapping arrays
+        expected = x
+        for mp in reversed(h.mappings):
+            expected = expected[mp.m]
+        assert np.array_equal(fine_x, expected)
+
+    def test_max_levels_cap(self):
+        g = grid_graph(12, 12)
+        h = coarsen_multilevel(g, gpu_space(0), max_levels=1)
+        assert h.levels == 2
+
+    def test_coarsening_ratio_definition(self):
+        g = random_connected(400, 600, seed=7)
+        h = coarsen_multilevel(g, gpu_space(6))
+        cr = h.coarsening_ratio()
+        n0, nl, l = h.graphs[0].n, h.coarsest.n, h.levels
+        assert cr == pytest.approx((n0 / nl) ** (1.0 / (l - 1)))
+
+    def test_oom_propagates(self):
+        g = random_connected(300, 500, seed=8)
+        tracker = MemoryTracker(10.0, algorithm="hec", graph="g")  # 10 bytes
+        with pytest.raises(SimulatedOOM):
+            coarsen_multilevel(g, gpu_space(0), tracker=tracker)
+
+    def test_transfer_charged_on_gpu_only(self):
+        from repro.parallel import cpu_space
+
+        g = random_connected(200, 300, seed=9)
+        sp_g = gpu_space(0)
+        coarsen_multilevel(g, sp_g)
+        assert sp_g.ledger.phase("transfer").transfer_bytes > 0
+        sp_c = cpu_space(0)
+        coarsen_multilevel(g, sp_c)
+        assert sp_c.ledger.phase("transfer").transfer_bytes == 0
+
+    def test_stats_per_level(self):
+        g = random_connected(300, 400, seed=10)
+        h = coarsen_multilevel(g, gpu_space(1))
+        assert len(h.stats["per_level"]) == len(h.mappings)
+        assert h.stats["coarsener"] == "hec"
+
+    @pytest.mark.parametrize("constructor", ["sort", "hash", "spgemm", "global_sort"])
+    def test_constructors_give_same_hierarchy(self, constructor):
+        g = random_connected(300, 450, seed=11)
+        base = coarsen_multilevel(g, gpu_space(2), constructor="sort")
+        other = coarsen_multilevel(g, gpu_space(2), constructor=constructor)
+        assert [x.n for x in base.graphs] == [x.n for x in other.graphs]
+        for a, b in zip(base.graphs, other.graphs):
+            assert np.array_equal(a.xadj, b.xadj)
+            assert np.array_equal(a.adjncy, b.adjncy)
+            assert np.allclose(a.ewgts, b.ewgts)

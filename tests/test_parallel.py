@@ -1,0 +1,254 @@
+"""Execution substrate: cost ledger, machines, atomics, primitives, memory."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    RYZEN32_CPU,
+    TURING_GPU,
+    CostLedger,
+    KernelCost,
+    MemoryTracker,
+    SimulatedOOM,
+    atomic_min,
+    batch_fetch_add,
+    cas,
+    compact_nonnegative,
+    cpu_space,
+    exclusive_prefix_sum,
+    fetch_add,
+    first_winner_cas,
+    gen_perm,
+    gpu_space,
+    segment_max_index,
+    segment_sum,
+    serial_space,
+)
+from repro.parallel.memory import construction_workspace, graph_bytes, mapping_workspace
+
+
+class TestKernelCost:
+    def test_add(self):
+        a = KernelCost(stream_bytes=10, atomic_ops=2)
+        b = KernelCost(stream_bytes=5, launches=1)
+        c = a + b
+        assert c.stream_bytes == 15
+        assert c.atomic_ops == 2
+        assert c.launches == 1
+
+    def test_iadd(self):
+        a = KernelCost(stream_bytes=10)
+        a += KernelCost(stream_bytes=3, flops=7)
+        assert a.stream_bytes == 13
+        assert a.flops == 7
+
+    def test_scaled(self):
+        a = KernelCost(stream_bytes=10, hash_ops=4).scaled(2.5)
+        assert a.stream_bytes == 25
+        assert a.hash_ops == 10
+
+    def test_as_dict_complete(self):
+        d = KernelCost().as_dict()
+        assert set(d) >= {"stream_bytes", "random_bytes", "atomic_ops", "launches"}
+
+
+class TestLedger:
+    def test_phases(self):
+        led = CostLedger()
+        led.charge("mapping", KernelCost(stream_bytes=10))
+        led.charge("construction", KernelCost(stream_bytes=20))
+        led.charge("mapping", KernelCost(stream_bytes=5))
+        assert led.phase("mapping").stream_bytes == 15
+        assert led.total().stream_bytes == 35
+        assert led.total(exclude=("construction",)).stream_bytes == 15
+        assert led.phases() == ["mapping", "construction"]
+
+    def test_unknown_phase_zero(self):
+        assert CostLedger().phase("nope").stream_bytes == 0
+
+    def test_merge(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge("x", KernelCost(flops=1))
+        b.charge("x", KernelCost(flops=2))
+        b.charge("y", KernelCost(flops=4))
+        a.merge(b)
+        assert a.phase("x").flops == 3
+        assert a.phase("y").flops == 4
+
+
+class TestMachine:
+    def test_streaming_price(self):
+        t = TURING_GPU.seconds(KernelCost(stream_bytes=532e9))
+        assert t == pytest.approx(1.0)
+
+    def test_cpu_slower_streaming(self):
+        c = KernelCost(stream_bytes=1e9)
+        assert RYZEN32_CPU.seconds(c) > TURING_GPU.seconds(c)
+
+    def test_transfer_only_on_gpu(self):
+        c = KernelCost(transfer_bytes=1e9)
+        assert TURING_GPU.seconds(c) > 0
+        assert RYZEN32_CPU.seconds(c) == 0
+        assert TURING_GPU.is_gpu and not RYZEN32_CPU.is_gpu
+
+    def test_pricing_monotone(self):
+        small = KernelCost(stream_bytes=1, random_bytes=1, atomic_ops=1)
+        big = small.scaled(10)
+        for m in (TURING_GPU, RYZEN32_CPU):
+            assert m.seconds(big) > m.seconds(small)
+
+    def test_random_more_expensive_than_stream(self):
+        for m in (TURING_GPU, RYZEN32_CPU):
+            assert m.seconds(KernelCost(random_bytes=1e9)) > m.seconds(
+                KernelCost(stream_bytes=1e9)
+            )
+
+
+class TestSpaces:
+    def test_wave_sizes(self):
+        assert gpu_space().concurrency == 69632
+        assert cpu_space().concurrency == 64
+        assert serial_space().concurrency == 1
+
+    def test_waves_cover_range(self):
+        sp = cpu_space()
+        waves = list(sp.waves(200))
+        assert waves[0] == (0, 64)
+        assert waves[-1][1] == 200
+        total = sum(stop - start for start, stop in waves)
+        assert total == 200
+
+    def test_seed_determinism(self):
+        a = gpu_space(7).rng.integers(0, 100, 10)
+        b = gpu_space(7).rng.integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_spawn_shares_ledger(self):
+        sp = gpu_space(1)
+        child = sp.spawn()
+        assert child.ledger is sp.ledger
+
+    def test_seconds_exclude(self):
+        sp = gpu_space(0)
+        sp.ledger.charge("transfer", KernelCost(transfer_bytes=12e9))
+        assert sp.seconds() == pytest.approx(1.0)
+        assert sp.seconds(exclude=("transfer",)) == 0.0
+
+
+class TestAtomics:
+    def test_cas(self):
+        arr = np.array([-1, 5])
+        assert cas(arr, 0, -1, 9)
+        assert arr[0] == 9
+        assert not cas(arr, 1, -1, 9)
+        assert arr[1] == 5
+
+    def test_fetch_add(self):
+        arr = np.array([3])
+        assert fetch_add(arr, 0, 2) == 3
+        assert arr[0] == 5
+
+    def test_atomic_min(self):
+        arr = np.array([10])
+        assert atomic_min(arr, 0, 4)
+        assert arr[0] == 4
+        assert not atomic_min(arr, 0, 7)
+
+    def test_first_winner_cas_one_per_location(self):
+        arr = np.full(4, -1)
+        idx = np.array([2, 2, 2, 3])
+        desired = np.array([10, 11, 12, 13])
+        won = first_winner_cas(arr, idx, desired, -1)
+        assert list(won) == [True, False, False, True]
+        assert arr[2] == 10 and arr[3] == 13
+
+    def test_first_winner_cas_respects_expected(self):
+        arr = np.array([0, -1])
+        won = first_winner_cas(arr, np.array([0, 1]), np.array([7, 8]), -1)
+        assert list(won) == [False, True]
+
+    def test_batch_fetch_add(self):
+        counter = np.array([5])
+        ids = batch_fetch_add(counter, 3)
+        assert list(ids) == [5, 6, 7]
+        assert counter[0] == 8
+
+
+class TestPrimitives:
+    def test_prefix_sum(self):
+        out = exclusive_prefix_sum(np.array([3, 1, 4]))
+        assert list(out) == [0, 3, 4, 8]
+
+    def test_prefix_sum_charges(self):
+        sp = gpu_space(0)
+        exclusive_prefix_sum(np.arange(10), sp)
+        assert sp.ledger.phase("mapping").stream_bytes > 0
+
+    def test_gen_perm_is_permutation(self):
+        sp = gpu_space(3)
+        p = gen_perm(100, sp)
+        assert sorted(p.tolist()) == list(range(100))
+
+    def test_gen_perm_deterministic(self):
+        assert np.array_equal(gen_perm(50, gpu_space(9)), gen_perm(50, gpu_space(9)))
+        assert not np.array_equal(gen_perm(50, gpu_space(9)), gen_perm(50, gpu_space(10)))
+
+    def test_segment_sum(self):
+        out = segment_sum(np.array([1.0, 2.0, 3.0]), np.array([0, 1, 0]), 2)
+        assert list(out) == [4.0, 2.0]
+
+    def test_segment_max_index_first_max(self):
+        vals = np.array([1.0, 5.0, 5.0, 2.0])
+        idx = segment_max_index(None, vals, np.array([0, 3, 4]))
+        assert list(idx) == [1, 3]
+
+    def test_segment_max_index_empty_segment(self):
+        idx = segment_max_index(None, np.array([2.0]), np.array([0, 0, 1]))
+        assert list(idx) == [-1, 0]
+
+    def test_compact(self):
+        out = compact_nonnegative(np.array([-1, 3, -1, 0]))
+        assert list(out) == [3, 0]
+
+
+class TestMemory:
+    def test_graph_bytes_positive(self):
+        assert graph_bytes(100, 1000) > 0
+
+    def test_tracker_raises(self):
+        t = MemoryTracker(1000, algorithm="hec", graph="g")
+        with pytest.raises(SimulatedOOM):
+            t.hold_level(1000, 10000)
+
+    def test_tracker_scale(self):
+        t = MemoryTracker(1e6, scale=1000.0)
+        with pytest.raises(SimulatedOOM) as e:
+            t.transient(2000)
+        assert e.value.demand == pytest.approx(2e6)
+
+    def test_null_tracker_records_but_never_raises(self):
+        t = MemoryTracker.null()
+        t.hold_level(1e12, 1e14)
+        t.transient(1e15)
+        assert t.peak > 0
+
+    def test_resident_accumulates(self):
+        t = MemoryTracker(float("inf"), enabled=False)
+        t.hold_level(10, 100)
+        p1 = t.peak
+        t.hold_level(10, 100)
+        assert t.peak == pytest.approx(2 * p1)
+
+    @pytest.mark.parametrize(
+        "algo", ["hec", "hec2", "hec3", "hem", "mtmetis", "gosh", "mis2", "gosh_hec", "other"]
+    )
+    def test_mapping_workspace_positive(self, algo):
+        assert mapping_workspace(algo, 1000, 10000) > 0
+
+    @pytest.mark.parametrize("method", ["sort", "hash", "spgemm"])
+    def test_construction_workspace_positive(self, method):
+        assert construction_workspace(100, 10000, method) > 0
+
+    def test_hem_workspace_exceeds_hec(self):
+        # HEM's per-pass recomputation buffers are the OOM driver
+        assert mapping_workspace("hem", 1000, 50000) > mapping_workspace("hec", 1000, 50000)

@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random graphs are generated from edge lists; every coarsener and
+construction strategy must uphold the paper's structural invariants on
+all of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.coarsen import (
+    available_coarseners,
+    get_coarsener,
+    hec_parallel,
+    hec_serial,
+    pointer_jump,
+    relabel,
+    validate_mapping,
+)
+from repro.construct import available_constructors, construct_reference, get_constructor
+from repro.csr import from_edge_list, validate
+from repro.parallel import first_winner_cas, gpu_space, serial_space
+from repro.partition import edge_cut, fm_refine, rebalance_exact
+from repro.types import VI
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def graphs(draw, min_n=2, max_n=40, connected=False):
+    """Random simple undirected weighted graph."""
+    n = draw(st.integers(min_n, max_n))
+    n_edges = draw(st.integers(0, min(4 * n, 120)))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=n_edges, max_size=n_edges)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=n_edges, max_size=n_edges)
+    )
+    wgt = draw(
+        st.lists(
+            st.floats(0.5, 100.0, allow_nan=False), min_size=n_edges, max_size=n_edges
+        )
+    )
+    if connected:
+        # add a ring so every vertex is reachable
+        src = src + list(range(n))
+        dst = dst + [(i + 1) % n for i in range(n)]
+        wgt = wgt + [1.0] * n
+    return from_edge_list(n, src, dst, wgt)
+
+
+class TestBuilderProperties:
+    @given(graphs())
+    @settings(**SETTINGS)
+    def test_builder_output_always_valid(self, g):
+        validate(g)
+
+    @given(graphs())
+    @settings(**SETTINGS)
+    def test_symmetry_of_weight_totals(self, g):
+        assert g.ewgts.sum() == pytest.approx(2.0 * g.total_edge_weight())
+
+
+class TestCoarsenerProperties:
+    @given(graphs(connected=True), st.sampled_from(sorted(available_coarseners())), st.integers(0, 10))
+    @settings(**SETTINGS)
+    def test_mapping_always_valid(self, g, name, seed):
+        mp = get_coarsener(name)(g, gpu_space(seed))
+        validate_mapping(mp)
+
+    @given(graphs(connected=True), st.integers(0, 10))
+    @settings(**SETTINGS)
+    def test_hec_wave1_equals_serial(self, g, seed):
+        a = hec_serial(g, serial_space(seed))
+        b = hec_parallel(g, serial_space(seed))
+        assert np.array_equal(a.m, b.m)
+
+    @given(graphs(connected=True), st.integers(0, 5))
+    @settings(**SETTINGS)
+    def test_hem_is_matching(self, g, seed):
+        from repro.coarsen import hem_parallel, is_matching
+
+        assert is_matching(hem_parallel(g, gpu_space(seed)))
+
+    @given(graphs(connected=True), st.integers(0, 5))
+    @settings(**SETTINGS)
+    def test_mis2_distance2(self, g, seed):
+        from repro.coarsen import distance2_mis
+
+        mask = distance2_mis(g, gpu_space(seed))
+        roots = np.flatnonzero(mask)
+        assert len(roots) >= 1
+        rootset = set(roots.tolist())
+        for r in roots:
+            for v in g.neighbors(int(r)):
+                assert int(v) not in rootset
+                for w in g.neighbors(int(v)):
+                    if int(w) != int(r):
+                        assert int(w) not in rootset
+
+
+class TestConstructionProperties:
+    @given(
+        graphs(connected=True),
+        st.sampled_from(sorted(available_constructors())),
+        st.sampled_from(["hec", "hem", "gosh"]),
+        st.integers(0, 5),
+    )
+    @settings(**SETTINGS)
+    def test_all_strategies_match_reference(self, g, cname, coarsener, seed):
+        mp = get_coarsener(coarsener)(g, gpu_space(seed))
+        ref = construct_reference(g, mp)
+        out = get_constructor(cname)(g, mp, gpu_space(0))
+        assert np.array_equal(out.xadj, ref.xadj)
+        assert np.array_equal(out.adjncy, ref.adjncy)
+        assert np.allclose(out.ewgts, ref.ewgts)
+
+    @given(graphs(connected=True), st.integers(0, 5))
+    @settings(**SETTINGS)
+    def test_weight_conservation(self, g, seed):
+        mp = hec_parallel(g, gpu_space(seed))
+        out = get_constructor("sort")(g, mp, gpu_space(0))
+        src, dst, w = g.to_coo()
+        intra = w[mp.m[src] == mp.m[dst]].sum() / 2.0
+        assert out.total_edge_weight() == pytest.approx(
+            g.total_edge_weight() - intra
+        )
+        assert out.total_vertex_weight() == pytest.approx(g.total_vertex_weight())
+
+
+class TestMappingHelperProperties:
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=60))
+    @settings(**SETTINGS)
+    def test_relabel_preserves_partition(self, vals):
+        arr = np.array(vals, dtype=VI)
+        out, n_c = relabel(arr)
+        assert n_c == len(set(vals))
+        assert out.max() == n_c - 1
+        # same-value pairs stay same, different stay different
+        for i in range(len(vals)):
+            for j in range(i + 1, len(vals)):
+                assert (vals[i] == vals[j]) == (out[i] == out[j])
+
+    @given(st.integers(2, 60), st.integers(0, 100))
+    @settings(**SETTINGS)
+    def test_pointer_jump_forest(self, n, seed):
+        rng = np.random.default_rng(seed)
+        # random forest: each vertex points to a lower id (or itself)
+        m = np.array([rng.integers(0, i + 1) for i in range(n)], dtype=VI)
+        out = pointer_jump(m)
+        # all outputs are roots, and reachable from the input
+        assert np.all(m[out] == out)
+
+    @given(
+        st.integers(1, 30),
+        st.lists(st.integers(0, 29), min_size=1, max_size=40),
+    )
+    @settings(**SETTINGS)
+    def test_first_winner_unique_per_location(self, n, targets):
+        arr = np.full(30, -1, dtype=VI)
+        idx = np.array(targets, dtype=VI)
+        desired = np.arange(len(idx), dtype=VI)
+        won = first_winner_cas(arr, idx, desired, -1)
+        # exactly one winner per distinct location
+        assert won.sum() == len(set(targets))
+        for k in np.flatnonzero(won):
+            assert arr[idx[k]] == desired[k]
+
+
+class TestFMProperties:
+    @given(graphs(connected=True, min_n=4), st.integers(0, 5))
+    @settings(**SETTINGS)
+    def test_fm_never_worsens_balanced(self, g, seed):
+        part = (np.arange(g.n) % 2).astype(np.int8)
+        before = edge_cut(g, part)
+        out = fm_refine(g, part, gpu_space(seed))
+        assert edge_cut(g, out) <= before + 1e-9
+
+    @given(graphs(connected=True, min_n=4), st.integers(0, 5))
+    @settings(**SETTINGS)
+    def test_rebalance_terminates_and_helps(self, g, seed):
+        rng = np.random.default_rng(seed)
+        part = (rng.random(g.n) < 0.2).astype(np.int8)
+        out = rebalance_exact(g, part, gpu_space(0))
+        w0 = abs(np.sum(np.where(part == 0, g.vwgts, -g.vwgts)))
+        w1 = abs(np.sum(np.where(out == 0, g.vwgts, -g.vwgts)))
+        assert w1 <= w0

@@ -1,0 +1,64 @@
+"""SpMV and dense-vector kernels."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import gpu_space
+from repro.sparse import deflate, deflate_constant, laplacian_spmv, norm2, normalize, spmv
+
+from tests.conftest import grid_graph, random_connected
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_scipy(self, seed):
+        g = random_connected(80, 120, seed=seed)
+        x = np.random.default_rng(seed).standard_normal(g.n)
+        assert np.allclose(spmv(g, x), g.to_scipy() @ x)
+
+    def test_empty_rows(self):
+        from repro.csr import from_edge_list
+
+        g = from_edge_list(4, [0], [1])
+        y = spmv(g, np.ones(4))
+        assert list(y) == [1.0, 1.0, 0.0, 0.0]
+
+    def test_cost_cached_vs_uncached(self, grid6):
+        """Small vectors price their gather as streaming."""
+        sp = gpu_space(0)
+        spmv(grid6, np.ones(grid6.n), sp)
+        assert sp.ledger.phase("refinement").random_bytes == 0
+
+    def test_laplacian_nullspace(self, rc100):
+        deg = rc100.weighted_degrees()
+        y = laplacian_spmv(rc100, np.ones(rc100.n), deg)
+        assert np.allclose(y, 0.0)
+
+    def test_laplacian_psd(self, rc100):
+        rng = np.random.default_rng(0)
+        deg = rc100.weighted_degrees()
+        for _ in range(5):
+            x = rng.standard_normal(rc100.n)
+            assert x @ laplacian_spmv(rc100, x, deg) >= -1e-9
+
+
+class TestVectors:
+    def test_norm2(self):
+        assert norm2(np.array([3.0, 4.0])) == 5.0
+
+    def test_normalize(self):
+        x = normalize(np.array([3.0, 4.0]))
+        assert np.allclose(np.linalg.norm(x), 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize(np.zeros(3))
+
+    def test_deflate_constant(self):
+        x = deflate_constant(np.array([1.0, 2.0, 3.0]))
+        assert abs(x.sum()) < 1e-12
+
+    def test_deflate_direction(self):
+        d = normalize(np.array([1.0, 1.0, 0.0]))
+        x = deflate(np.array([2.0, 4.0, 5.0]), d)
+        assert abs(np.dot(x, d)) < 1e-12

@@ -1,0 +1,105 @@
+"""SpGEMM kernel: vs reference, vs scipy, and the P A P^T construction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.construct import (
+    CSRMatrix,
+    aggregation_matrix,
+    spgemm,
+    spgemm_rowwise_reference,
+    transpose,
+)
+from repro.parallel import gpu_space
+from repro.types import VI, WT
+
+
+def _random_csr(rng, rows, cols, density=0.1):
+    mat = sp.random(rows, cols, density=density, random_state=np.random.RandomState(rng), format="csr")
+    mat.data = np.abs(mat.data) + 0.1
+    return CSRMatrix(mat.indptr, mat.indices, mat.data, cols), mat
+
+
+def _to_scipy(c: CSRMatrix):
+    return sp.csr_array((c.vals, c.adjncy, c.xadj), shape=(c.n_rows, c.n_cols))
+
+
+class TestSpgemm:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scipy(self, seed):
+        a, sa = _random_csr(seed, 30, 40)
+        b, sb = _random_csr(seed + 10, 40, 25)
+        c = spgemm(a, b)
+        expect = (sa @ sb).toarray()
+        assert np.allclose(_to_scipy(c).toarray(), expect)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_rowwise_reference(self, seed):
+        a, _ = _random_csr(seed, 20, 20, density=0.2)
+        b, _ = _random_csr(seed + 5, 20, 20, density=0.2)
+        c = spgemm(a, b)
+        r = spgemm_rowwise_reference(a, b)
+        assert np.array_equal(c.xadj, r.xadj)
+        assert np.array_equal(c.adjncy, r.adjncy)
+        assert np.allclose(c.vals, r.vals)
+
+    def test_identity(self):
+        n = 10
+        eye = CSRMatrix(np.arange(n + 1), np.arange(n), np.ones(n), n)
+        a, sa = _random_csr(1, n, n)
+        c = spgemm(eye, a)
+        assert np.allclose(_to_scipy(c).toarray(), sa.toarray())
+
+    def test_dimension_mismatch(self):
+        a, _ = _random_csr(0, 5, 6)
+        b, _ = _random_csr(1, 5, 6)
+        with pytest.raises(ValueError, match="dimension"):
+            spgemm(a, b)
+
+    def test_empty_product(self):
+        z = CSRMatrix(np.zeros(6, dtype=VI), np.zeros(0, dtype=VI), np.zeros(0, dtype=WT), 5)
+        c = spgemm(z, z)
+        assert c.nnz == 0
+
+    def test_duplicate_columns_summed(self):
+        # A row [1, 1] times B with rows [1@0] and [1@0]: C[0,0] = 2
+        a = CSRMatrix([0, 2], [0, 1], [1.0, 1.0], 2)
+        b = CSRMatrix([0, 1, 2], [0, 0], [1.0, 1.0], 1)
+        c = spgemm(a, b)
+        assert c.nnz == 1
+        assert c.vals[0] == 2.0
+
+    def test_cost_charged(self):
+        a, _ = _random_csr(2, 30, 30)
+        space = gpu_space(0)
+        spgemm(a, a, space)
+        cost = space.ledger.phase("construction")
+        assert cost.hash_ops > 0 and cost.flops > 0
+
+
+class TestTranspose:
+    def test_vs_scipy(self):
+        a, sa = _random_csr(3, 20, 35)
+        t = transpose(a)
+        assert np.allclose(_to_scipy(t).toarray(), sa.T.toarray())
+
+    def test_double_transpose(self):
+        a, _ = _random_csr(4, 15, 15)
+        tt = transpose(transpose(a))
+        assert np.array_equal(tt.xadj, a.xadj)
+        assert np.allclose(tt.vals, a.vals)
+
+
+class TestAggregationMatrix:
+    def test_shape_and_content(self):
+        from repro.coarsen import CoarseMapping
+
+        mp = CoarseMapping(np.array([1, 0, 1, 0, 2]), 3)
+        p = aggregation_matrix(mp)
+        assert p.n_rows == 3
+        assert p.n_cols == 5
+        assert p.nnz == 5
+        dense = _to_scipy(p).toarray()
+        for u, c in enumerate(mp.m):
+            assert dense[c, u] == 1.0
