@@ -13,6 +13,24 @@ from __future__ import annotations
 import pytest
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _graph_cache_report(request):
+    """Print graph-cache counters once the benchmark session ends.
+
+    A suite that silently regenerated corpus graphs (corrupt cache,
+    changed generator parameters) pays seconds of hidden work per graph;
+    surfacing hits/misses/regenerations next to the timings keeps the
+    wall-clocks honest.
+    """
+    yield
+    from repro.bench.harness import cache_stats
+    from repro.bench.report import format_cache_stats
+
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    with capmanager.global_and_fixture_disabled():
+        print("\n" + format_cache_stats(cache_stats()) + "\n")
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under the benchmark fixture and return its
     result (full experiments are too heavy for multi-round timing)."""

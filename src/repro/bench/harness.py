@@ -17,8 +17,9 @@ from ..parallel.execspace import ExecSpace, cpu_space, gpu_space
 from ..parallel.memory import MemoryTracker, SimulatedOOM
 from ..partition.multilevel import multilevel_bisect
 from ..generators.corpus import GraphSpec, load, memory_scale
+from ..generators import corpus as _corpus
 
-__all__ = ["space_for", "run_coarsening", "run_partition", "corpus_graph"]
+__all__ = ["space_for", "run_coarsening", "run_partition", "corpus_graph", "cache_stats"]
 
 
 def space_for(machine: str, seed: int = 0) -> ExecSpace:
@@ -31,8 +32,20 @@ def space_for(machine: str, seed: int = 0) -> ExecSpace:
 
 
 def corpus_graph(name: str, seed: int = 0) -> tuple[CSRGraph, GraphSpec]:
-    """Load one corpus graph (cached on disk)."""
+    """Load one corpus graph (served through the self-healing disk cache)."""
     return load(name, seed)
+
+
+def cache_stats() -> dict:
+    """Counters of the graph cache serving :func:`corpus_graph`.
+
+    Cross-process totals (hits, misses, regenerations, corruptions,
+    bytes, generation seconds) read from the cache ledger — the same
+    numbers ``python -m repro.cache status`` prints.  Benchmark suites
+    attach this to their session summary so silent cache regeneration
+    never masquerades as a slow run.
+    """
+    return _corpus._get_cache().status()
 
 
 def _tracker(g: CSRGraph, spec: GraphSpec | None, space: ExecSpace, algorithm: str, oom: bool) -> MemoryTracker:

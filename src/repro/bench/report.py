@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-__all__ = ["geomean", "median", "format_table", "ratio"]
+__all__ = ["geomean", "median", "format_table", "ratio", "format_cache_stats"]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -41,6 +41,29 @@ def _fmt(v, spec: str) -> str:
         return format(v, spec)
     except (TypeError, ValueError):
         return str(v)
+
+
+def format_cache_stats(status: dict) -> str:
+    """One-paragraph summary of :func:`repro.bench.harness.cache_stats`.
+
+    Shows where benchmark time actually went: a run that silently
+    regenerated half the corpus reports very different wall-clocks than
+    one served entirely from cache.
+    """
+    c = status.get("counters", {})
+    mib = status.get("bytes", 0) / (1024 * 1024)
+    lines = [
+        f"graph cache  {status.get('root', '?')}",
+        f"  entries {status.get('entries', 0)} ({mib:.1f} MiB)"
+        f"  quarantined {status.get('quarantined_files', 0)}",
+        f"  hits {c.get('hits', 0)}  misses {c.get('misses', 0)}"
+        f"  regenerations {c.get('regenerations', 0)}"
+        f"  corruptions {c.get('corruptions', 0)}"
+        f"  migrations {c.get('migrations', 0)}",
+        f"  generation {c.get('generation_seconds', 0.0):.2f}s"
+        f"  load {c.get('load_seconds', 0.0):.2f}s",
+    ]
+    return "\n".join(lines)
 
 
 def format_table(

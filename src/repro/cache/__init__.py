@@ -1,0 +1,25 @@
+"""Self-healing artifact cache: atomic writes, integrity checks, locking.
+
+The subsystem the corpus generator and benchmark harness persist
+through.  See :mod:`repro.cache.store` for the entry layout and the
+healing state machine, and ``python -m repro.cache --help`` for the
+operational CLI (status / verify / clear / gc).
+"""
+
+from .atomic import atomic_write, atomic_write_bytes, fsync_dir, is_temp_file
+from .lock import FileLock
+from .stats import CacheStats, StatsFile
+from .store import ArtifactCache, CacheEntryError, fingerprint_payload
+
+__all__ = [
+    "ArtifactCache",
+    "CacheEntryError",
+    "CacheStats",
+    "StatsFile",
+    "FileLock",
+    "atomic_write",
+    "atomic_write_bytes",
+    "fingerprint_payload",
+    "fsync_dir",
+    "is_temp_file",
+]

@@ -1,0 +1,76 @@
+"""Crash-safe file writes: same-directory temp file, fsync, ``os.replace``.
+
+A writer that dies mid-write (OOM-killed benchmark worker, ctrl-C during
+corpus generation) must never leave a half-written artifact at the final
+path.  POSIX gives exactly one primitive with that guarantee: rename
+within a filesystem.  So every durable write goes
+
+    temp file in the destination directory -> flush -> fsync -> os.replace
+
+and readers either see the old complete file, the new complete file, or
+nothing — never a truncated zip.  Orphaned ``*.tmp-*`` files from killed
+writers are harmless and are swept by cache verify/gc.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+__all__ = ["atomic_write", "atomic_write_bytes", "fsync_dir", "TMP_MARKER", "is_temp_file"]
+
+#: infix shared by every temp file this module creates; verify/gc sweep it
+TMP_MARKER = ".tmp-"
+
+
+def is_temp_file(path) -> bool:
+    """True for orphaned in-flight files left behind by a killed writer."""
+    return TMP_MARKER in Path(path).name
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so a completed rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. unsupported platform
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - some filesystems reject dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path, write_fn: Callable, *, durable: bool = True) -> None:
+    """Call ``write_fn(fileobj)`` on a temp file, then rename over ``path``.
+
+    ``write_fn`` receives a binary-mode file object.  On any failure the
+    temp file is unlinked and the destination is untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + TMP_MARKER, suffix="~"
+    )
+    try:
+        with os.fdopen(fd, "wb") as f:
+            write_fn(f)
+            f.flush()
+            if durable:
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(path.parent)
+
+
+def atomic_write_bytes(path, data: bytes, *, durable: bool = True) -> None:
+    """Atomically replace ``path`` with ``data``."""
+    atomic_write(path, lambda f: f.write(data), durable=durable)

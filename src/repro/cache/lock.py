@@ -1,0 +1,78 @@
+"""Inter-process file locking for cache entries.
+
+Concurrent pytest / benchmark workers routinely race to generate the
+same corpus graph.  Without a lock both pay generation and one clobbers
+the other's write; with a per-entry exclusive lock the loser blocks,
+re-checks the cache, and loads the winner's artifact instead.
+
+POSIX gets ``fcntl.flock`` (advisory, released automatically if the
+holder dies — a kill -9'd worker can never deadlock the cache).  On
+platforms without ``fcntl`` we fall back to ``msvcrt`` or, failing
+that, a no-op lock: single-process correctness is unaffected, only the
+duplicate-generation guarantee is lost.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+try:
+    import msvcrt
+except ImportError:
+    msvcrt = None
+
+__all__ = ["FileLock"]
+
+
+class FileLock:
+    """Exclusive advisory lock on ``path`` usable as a context manager.
+
+    Reentrant within a process is *not* supported (and not needed: the
+    cache takes each lock exactly once per operation).
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    def acquire(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            elif msvcrt is not None:  # pragma: no cover - Windows
+                msvcrt.locking(fd, msvcrt.LK_LOCK, 1)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+
+    def release(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            elif msvcrt is not None:  # pragma: no cover - Windows
+                os.lseek(fd, 0, os.SEEK_SET)
+                msvcrt.locking(fd, msvcrt.LK_UNLCK, 1)
+        finally:
+            os.close(fd)
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

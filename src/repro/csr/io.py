@@ -12,6 +12,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..cache.atomic import atomic_write
 from ..types import VI, WT
 from .build import from_edge_list, preprocess
 from .graph import CSRGraph
@@ -46,17 +47,20 @@ def read_matrix_market(path, *, do_preprocess: bool = True) -> CSRGraph:
         rows, cols, nnz = (int(t) for t in line.split())
         if rows != cols:
             raise ValueError("matrix must be square to be a graph")
-        src = np.empty(nnz, dtype=VI)
-        dst = np.empty(nnz, dtype=VI)
-        wgt = np.ones(nnz, dtype=WT)
         has_val = field != "pattern"
-        for k in range(nnz):
-            parts = f.readline().split()
-            src[k] = int(parts[0]) - 1
-            dst[k] = int(parts[1]) - 1
-            if has_val and len(parts) > 2:
-                v = abs(float(parts[2]))
-                wgt[k] = v if v > 0 else 1.0
+        # bulk-parse the coordinate block: one np.loadtxt call instead of
+        # an O(nnz) Python loop (the seed's loop dominated large reads)
+        data = np.loadtxt(f, dtype=np.float64, comments="%", ndmin=2, max_rows=nnz)
+        if data.size == 0:
+            data = data.reshape(0, 2)
+        if data.shape[0] != nnz:
+            raise ValueError(f"expected {nnz} entries, found {data.shape[0]}")
+        src = data[:, 0].astype(VI) - 1
+        dst = data[:, 1].astype(VI) - 1
+        wgt = np.ones(nnz, dtype=WT)
+        if has_val and data.shape[1] > 2:
+            wgt = np.abs(data[:, 2]).astype(WT)
+            wgt[wgt == 0] = 1.0
     g = from_edge_list(rows, src, dst, wgt, name=Path(path).stem)
     return preprocess(g) if do_preprocess else g
 
@@ -73,8 +77,8 @@ def write_matrix_market(g: CSRGraph, path) -> None:
     with _open(path, "w") as f:
         f.write("%%MatrixMarket matrix coordinate real symmetric\n")
         f.write(f"{g.n} {g.n} {len(src)}\n")
-        for s, d, w in zip(src, dst, wgt):
-            f.write(f"{s + 1} {d + 1} {w:.17g}\n")
+        np.savetxt(f, np.column_stack([src + 1, dst + 1, wgt]),
+                   fmt=["%d", "%d", "%.17g"])
 
 
 def read_edge_list(path, *, n: int | None = None, do_preprocess: bool = True) -> CSRGraph:
@@ -91,14 +95,26 @@ def read_edge_list(path, *, n: int | None = None, do_preprocess: bool = True) ->
 
 
 def save_npz(g: CSRGraph, path) -> None:
-    """Save ``g`` losslessly to compressed ``.npz``."""
-    np.savez_compressed(
+    """Save ``g`` losslessly to compressed ``.npz``, atomically.
+
+    The write goes to a same-directory temp file which is fsynced and
+    renamed over ``path``, so a killed writer can never leave a
+    truncated (unreadable) archive at the destination — readers see
+    either the previous complete file or the new one.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":  # np.savez appends .npz to bare string paths
+        path = path.with_name(path.name + ".npz")
+    atomic_write(
         path,
-        xadj=g.xadj,
-        adjncy=g.adjncy,
-        ewgts=g.ewgts,
-        vwgts=g.vwgts,
-        name=np.array(g.name),
+        lambda f: np.savez_compressed(
+            f,
+            xadj=g.xadj,
+            adjncy=g.adjncy,
+            ewgts=g.ewgts,
+            vwgts=g.vwgts,
+            name=np.array(g.name),
+        ),
     )
 
 

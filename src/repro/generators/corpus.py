@@ -12,11 +12,13 @@ benchmark suites do not pay generation on every process start.
 
 from __future__ import annotations
 
+import inspect
 import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from ..cache import ArtifactCache, fingerprint_payload
 from ..csr.graph import CSRGraph
 from ..csr.io import load_npz, save_npz
 from .delaunay import delaunay_graph
@@ -100,23 +102,73 @@ SKEWED = [s for s in CORPUS if s.group == "skewed"]
 
 _BY_NAME = {s.name: s for s in CORPUS}
 
-#: bump when generator parameters change so stale disk caches are ignored
-_CORPUS_VERSION = 2
-_CACHE_DIR = Path(os.environ.get("REPRO_GRAPH_CACHE", Path(__file__).resolve().parents[3] / ".graph_cache"))
+#: bump only when the .npz array layout itself changes; parameter changes
+#: are picked up automatically by the fingerprint below
+_NPZ_SCHEMA = 1
+# `or` (not a .get default) so REPRO_GRAPH_CACHE="" falls back instead of
+# silently making the current directory the cache root
+_CACHE_DIR = Path(
+    os.environ.get("REPRO_GRAPH_CACHE")
+    or Path(__file__).resolve().parents[3] / ".graph_cache"
+)
+
+_CACHES: dict[Path, ArtifactCache] = {}
+
+
+def _get_cache() -> ArtifactCache:
+    """The ArtifactCache for the current ``_CACHE_DIR`` (monkeypatch-friendly)."""
+    root = Path(_CACHE_DIR)
+    cache = _CACHES.get(root)
+    if cache is None:
+        cache = _CACHES[root] = ArtifactCache(root, name="graphs")
+    return cache
+
+
+def _cache_key(name: str, seed: int) -> str:
+    return f"{name}-s{seed}"
+
+
+def _fingerprint(spec: GraphSpec, seed: int) -> str:
+    """Parameter fingerprint: hashes the factory's *source line*.
+
+    The generator call with all its arguments lives on the CORPUS entry
+    line, so editing any parameter changes the fingerprint and the stale
+    cache entry is quarantined automatically — no hand-bumped version
+    constant to forget.
+    """
+    try:
+        factory_src = " ".join(inspect.getsource(spec.factory).split())
+    except (OSError, TypeError):  # no source (REPL, frozen app): fall back
+        factory_src = repr(spec.factory)
+    return fingerprint_payload(
+        {"npz_schema": _NPZ_SCHEMA, "name": spec.name, "seed": seed,
+         "factory": factory_src}
+    )
 
 
 def load(name: str, seed: int = 0, cache: bool = True) -> tuple[CSRGraph, GraphSpec]:
-    """Generate (or load from cache) one corpus graph by Table-I name."""
+    """Generate (or load from cache) one corpus graph by Table-I name.
+
+    Cached entries are integrity-checked (checksum + parameter
+    fingerprint); a corrupt, truncated, or stale entry is quarantined
+    and regenerated transparently, and concurrent workers generating the
+    same graph serialise on a per-entry file lock so only one pays the
+    generation cost.  Pre-cache-era ``{name}-s{seed}-<version>.npz``
+    files are adopted when still readable, quarantined when not.
+    """
     spec = _BY_NAME.get(name)
     if spec is None:
         raise KeyError(f"unknown corpus graph {name!r}; known: {[s.name for s in CORPUS]}")
-    path = _CACHE_DIR / f"{name}-s{seed}-{_CORPUS_VERSION}.npz"
-    if cache and path.exists():
-        return load_npz(path), spec
-    g = spec.generate(seed)
-    if cache:
-        _CACHE_DIR.mkdir(parents=True, exist_ok=True)
-        save_npz(g, path)
+    if not cache:
+        return spec.generate(seed), spec
+    g = _get_cache().get_or_create(
+        key=_cache_key(name, seed),
+        fingerprint=_fingerprint(spec, seed),
+        generate=lambda: spec.generate(seed),
+        save=save_npz,
+        load=load_npz,
+        legacy_glob=f"{name}-s{seed}-*.npz",
+    )
     return g, spec
 
 

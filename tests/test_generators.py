@@ -155,10 +155,50 @@ class TestCorpus:
 
         monkeypatch.setattr(c, "_CACHE_DIR", tmp_path)
         g1, spec = load("ppa")
-        assert (tmp_path / f"ppa-s0-{c._CORPUS_VERSION}.npz").exists()
+        assert (tmp_path / "ppa-s0.npz").exists()
+        assert (tmp_path / "ppa-s0.meta.json").exists()
         g2, _ = load("ppa")
         assert np.array_equal(g1.adjncy, g2.adjncy)
         assert spec.group == "skewed"
+        stats = c._get_cache().stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_corrupt_cache_self_heals(self, tmp_path, monkeypatch):
+        import repro.generators.corpus as c
+
+        monkeypatch.setattr(c, "_CACHE_DIR", tmp_path)
+        g1, _ = load("ppa")
+        path = tmp_path / "ppa-s0.npz"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        g2, _ = load("ppa")  # must regenerate, not raise BadZipFile
+        assert np.array_equal(g1.adjncy, g2.adjncy)
+        stats = c._get_cache().stats()
+        assert stats.corruptions == 1 and stats.regenerations == 1
+        assert list((tmp_path / "quarantine").iterdir())
+
+    def test_stale_fingerprint_regenerates(self, tmp_path, monkeypatch):
+        import repro.generators.corpus as c
+
+        monkeypatch.setattr(c, "_CACHE_DIR", tmp_path)
+        load("ppa")
+        monkeypatch.setattr(c, "_fingerprint", lambda spec, seed: "f" * 16)
+        load("ppa")
+        stats = c._get_cache().stats()
+        assert stats.stale == 1 and stats.regenerations == 1
+
+    def test_legacy_versioned_file_is_adopted(self, tmp_path, monkeypatch):
+        import repro.generators.corpus as c
+        from repro.csr.io import save_npz
+
+        monkeypatch.setattr(c, "_CACHE_DIR", tmp_path)
+        g = c._BY_NAME["ppa"].generate(0)
+        save_npz(g, tmp_path / "ppa-s0-2.npz")  # pre-cache-era naming
+        g2, _ = load("ppa")
+        assert np.array_equal(g.adjncy, g2.adjncy)
+        stats = c._get_cache().stats()
+        assert stats.migrations == 1 and stats.misses == 0
+        assert not (tmp_path / "ppa-s0-2.npz").exists()
+        assert (tmp_path / "ppa-s0.npz").exists()
 
     def test_unknown_graph(self):
         with pytest.raises(KeyError, match="unknown corpus graph"):
