@@ -19,7 +19,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
-from . import csr, generators, parallel, sparse
+from . import csr, generators, parallel, sparse, trace
 from .coarsen import (
     CoarseMapping,
     GraphHierarchy,
@@ -41,6 +41,7 @@ from .parallel import (
     serial_space,
 )
 from .partition import PartitionResult, edge_cut, metis_like, mtmetis_like, multilevel_bisect
+from .trace import Tracer
 
 __version__ = "1.0.0"
 
@@ -68,8 +69,10 @@ __all__ = [
     "SimulatedOOM",
     "TURING_GPU",
     "RYZEN32_CPU",
+    "Tracer",
     "csr",
     "generators",
     "parallel",
     "sparse",
+    "trace",
 ]

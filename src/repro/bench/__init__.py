@@ -2,7 +2,7 @@
 
 from . import experiments
 from .harness import corpus_graph, run_coarsening, run_partition, space_for
-from .report import format_table, geomean, median, ratio
+from .report import format_table, geomean, median, ratio, write_results, write_trace
 
 __all__ = [
     "experiments",
@@ -14,4 +14,6 @@ __all__ = [
     "median",
     "ratio",
     "format_table",
+    "write_trace",
+    "write_results",
 ]

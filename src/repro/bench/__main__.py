@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — alias for the runner CLI in report.py."""
+
+import sys
+
+from .report import main
+
+sys.exit(main())

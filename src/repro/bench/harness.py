@@ -18,6 +18,7 @@ from ..parallel.memory import MemoryTracker, SimulatedOOM
 from ..partition.multilevel import multilevel_bisect
 from ..generators.corpus import GraphSpec, load, memory_scale
 from ..generators import corpus as _corpus
+from ..trace import Tracer
 
 __all__ = ["space_for", "run_coarsening", "run_partition", "corpus_graph", "cache_stats"]
 
@@ -73,9 +74,18 @@ def run_coarsening(
 
     On a simulated OOM the dict carries ``oom=True`` and ``None`` times —
     exactly the information the paper's OOM table cells convey.
+
+    Every result carries ``trace``: a closed :class:`repro.trace.Tracer`
+    whose per-phase rollup equals the ledger's phase splits exactly
+    (``trace.to_dict()`` / ``trace.save(path)`` serialize it).
     """
     space = space_for(machine, seed)
     tracker = _tracker(g, spec, space, coarsener, oom)
+    tracer = Tracer(
+        "run_coarsening",
+        labels={"kind": "coarsen", "machine": machine, "coarsener": coarsener,
+                "constructor": constructor, "graph": g.name, "seed": seed},
+    ).attach(space)
     base = {
         "graph": g.name,
         "machine": machine,
@@ -89,7 +99,10 @@ def run_coarsening(
         )
     except SimulatedOOM:
         return {**base, "oom": True, "total_s": None, "construction_s": None,
-                "mapping_s": None, "levels": None, "cr": None}
+                "mapping_s": None, "levels": None, "cr": None,
+                "trace": tracer.close()}
+    finally:
+        tracer.close()
     mach = space.machine
     mapping_s = mach.phase_seconds(space.ledger, "mapping")
     construction_s = mach.phase_seconds(space.ledger, "construction")
@@ -108,6 +121,7 @@ def run_coarsening(
         "coarsest_n": hierarchy.coarsest.n,
         "peak_mem": tracker.peak,
         "hierarchy": hierarchy,
+        "trace": tracer,
     }
 
 
@@ -122,9 +136,19 @@ def run_partition(
     seed: int = 0,
     oom: bool = True,
 ) -> dict:
-    """One multilevel bisection run; returns Table V/VI quantities."""
+    """One multilevel bisection run; returns Table V/VI quantities.
+
+    Like :func:`run_coarsening`, the result carries ``trace`` (closed
+    tracer) and ``peak_mem`` (projected peak of the memory tracker).
+    """
     space = space_for(machine, seed)
     tracker = _tracker(g, spec, space, coarsener, oom)
+    tracer = Tracer(
+        "run_partition",
+        labels={"kind": "partition", "machine": machine, "coarsener": coarsener,
+                "constructor": constructor, "refinement": refinement,
+                "graph": g.name, "seed": seed},
+    ).attach(space)
     base = {
         "graph": g.name,
         "machine": machine,
@@ -142,7 +166,10 @@ def run_partition(
             tracker=tracker,
         )
     except SimulatedOOM:
-        return {**base, "oom": True, "cut": None, "total_s": None, "coarsen_pct": None}
+        return {**base, "oom": True, "cut": None, "total_s": None, "coarsen_pct": None,
+                "peak_mem": tracker.peak, "trace": tracer.close()}
+    finally:
+        tracer.close()
     mach = space.machine
     mapping_s = mach.phase_seconds(space.ledger, "mapping")
     construction_s = mach.phase_seconds(space.ledger, "construction")
@@ -161,5 +188,7 @@ def run_partition(
         "refine_s": initial_s + refine_s,
         "coarsen_pct": 100.0 * coarsen_s / max(total_s, 1e-300),
         "levels": res.levels,
+        "peak_mem": tracker.peak,
         "result": res,
+        "trace": tracer,
     }

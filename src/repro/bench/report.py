@@ -1,11 +1,37 @@
-"""Result aggregation and table formatting for the experiment harness."""
+"""Result aggregation, table formatting, and the runner CLI.
+
+Besides the formatting helpers, this module is executable::
+
+    python -m repro.bench.report coarsen  --graph ppa --machine gpu --trace-dir traces/
+    python -m repro.bench.report partition --graph ppa --refinement spectral --trace-dir traces/
+    python -m repro.bench.report corpus   --machine gpu --trace-dir traces/
+
+Each invocation runs the configured pipeline(s) through the harness,
+prints the result table, and — with ``--trace-dir`` — writes one
+``<key>.trace.json`` per run next to a ``results.json``, so every
+simulated-seconds number in the table is backed by a span trace that
+``python -m repro.trace view/diff/export`` can break down, gate, or
+render in Perfetto.
+"""
 
 from __future__ import annotations
 
+import json
 import math
+import sys
+from pathlib import Path
 from typing import Iterable
 
-__all__ = ["geomean", "median", "format_table", "ratio", "format_cache_stats"]
+__all__ = [
+    "geomean",
+    "median",
+    "format_table",
+    "ratio",
+    "format_cache_stats",
+    "write_trace",
+    "write_results",
+    "main",
+]
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -90,3 +116,154 @@ def format_table(
             cells.append(text.ljust(14) if i == 0 else text.rjust(max(len(h), 9)))
         lines.append("  ".join(cells))
     return "\n".join(lines)
+
+
+# --------------------------------------------------------- trace writing
+
+
+def write_trace(result: dict, trace_dir) -> Path | None:
+    """Write one harness result's trace into ``trace_dir``.
+
+    The filename is the trace's config key with ``:`` replaced by ``-``
+    (filesystem-safe), suffixed ``.trace.json``; returns the path, or
+    None when the result carries no trace.
+    """
+    tracer = result.get("trace")
+    if tracer is None:
+        return None
+    trace = tracer.to_dict() if hasattr(tracer, "to_dict") else tracer
+    name = trace["key"].replace(":", "-") + ".trace.json"
+    path = Path(trace_dir) / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace, indent=1, sort_keys=True))
+    return path
+
+
+def write_results(rows: list[dict], trace_dir) -> Path:
+    """Write the scalar fields of harness results as ``results.json``."""
+    def scalars(row: dict) -> dict:
+        return {
+            k: v for k, v in row.items()
+            if isinstance(v, (int, float, str, bool)) or v is None
+        }
+
+    path = Path(trace_dir) / "results.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps([scalars(r) for r in rows], indent=1, sort_keys=True))
+    return path
+
+
+# ------------------------------------------------------------ runner CLI
+
+_COARSEN_COLUMNS = [
+    ("graph", "Graph", "s"),
+    ("total_s", "Total(s)", ".4g"),
+    ("mapping_s", "Mapping", ".4g"),
+    ("construction_s", "Constr", ".4g"),
+    ("transfer_s", "Transfer", ".4g"),
+    ("grco_pct", "%GrCo", ".1f"),
+    ("levels", "Levels", "d"),
+    ("cr", "CR", ".2f"),
+]
+
+_PARTITION_COLUMNS = [
+    ("graph", "Graph", "s"),
+    ("cut", "Cut", ".0f"),
+    ("total_s", "Total(s)", ".4g"),
+    ("coarsen_s", "Coarsen", ".4g"),
+    ("refine_s", "Refine", ".4g"),
+    ("coarsen_pct", "%Coarsen", ".1f"),
+    ("levels", "Levels", "d"),
+]
+
+
+def _emit(rows: list[dict], columns, title: str, args) -> int:
+    print(format_table(rows, columns, title))
+    if args.trace_dir is not None:
+        written = [write_trace(r, args.trace_dir) for r in rows]
+        write_results(rows, args.trace_dir)
+        print(f"wrote {sum(p is not None for p in written)} trace(s) + "
+              f"results.json to {args.trace_dir}")
+    return 0
+
+
+def _cmd_coarsen(args) -> int:
+    from .harness import corpus_graph, run_coarsening
+
+    g, spec = corpus_graph(args.graph, args.seed)
+    r = run_coarsening(g, spec, machine=args.machine, coarsener=args.coarsener,
+                       constructor=args.constructor, seed=args.seed, oom=args.oom)
+    title = (f"coarsening {args.graph} on {args.machine} "
+             f"({args.coarsener}+{args.constructor}, seed {args.seed})")
+    return _emit([r], _COARSEN_COLUMNS, title, args)
+
+
+def _cmd_partition(args) -> int:
+    from .harness import corpus_graph, run_partition
+
+    g, spec = corpus_graph(args.graph, args.seed)
+    r = run_partition(g, spec, machine=args.machine, coarsener=args.coarsener,
+                      constructor=args.constructor, refinement=args.refinement,
+                      seed=args.seed, oom=args.oom)
+    title = (f"bisection {args.graph} on {args.machine} "
+             f"({args.coarsener}+{args.constructor}, {args.refinement} "
+             f"refinement, seed {args.seed})")
+    return _emit([r], _PARTITION_COLUMNS, title, args)
+
+
+def _cmd_corpus(args) -> int:
+    from ..generators.corpus import CORPUS
+    from .harness import corpus_graph, run_coarsening
+
+    rows = []
+    for spec in CORPUS:
+        g, sp = corpus_graph(spec.name, args.seed)
+        rows.append(run_coarsening(g, sp, machine=args.machine,
+                                   coarsener=args.coarsener,
+                                   constructor=args.constructor,
+                                   seed=args.seed, oom=args.oom))
+    title = (f"corpus coarsening on {args.machine} "
+             f"({args.coarsener}+{args.constructor}, seed {args.seed})")
+    return _emit(rows, _COARSEN_COLUMNS, title, args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench.report",
+        description="run harness configurations, print tables, write traces",
+    )
+    ap.add_argument("--trace-dir", type=Path, default=None,
+                    help="write per-run trace JSON + results.json here")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    def common(p, partition=False):
+        p.add_argument("--machine", choices=("gpu", "cpu"), default="gpu")
+        p.add_argument("--coarsener", default="hec")
+        p.add_argument("--constructor", default="sort")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--oom", action="store_true",
+                       help="enable the paper-scale OOM simulation")
+        if partition:
+            p.add_argument("--refinement", choices=("spectral", "fm"),
+                           default="spectral")
+
+    p_c = sub.add_parser("coarsen", help="one coarsening run on a corpus graph")
+    p_c.add_argument("--graph", required=True)
+    common(p_c)
+
+    p_p = sub.add_parser("partition", help="one bisection run on a corpus graph")
+    p_p.add_argument("--graph", required=True)
+    common(p_p, partition=True)
+
+    p_all = sub.add_parser("corpus", help="coarsening across all 20 corpus graphs")
+    common(p_all)
+
+    args = ap.parse_args(argv)
+    return {"coarsen": _cmd_coarsen, "partition": _cmd_partition,
+            "corpus": _cmd_corpus}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

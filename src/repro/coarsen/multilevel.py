@@ -91,44 +91,51 @@ def coarsen_multilevel(
     algo_name = getattr(coarsen_fn, "coarsener_name", "custom")
     tracker = tracker or MemoryTracker.null()
 
-    if space.machine.is_gpu and include_transfer:
-        space.ledger.charge(
-            "transfer", KernelCost(transfer_bytes=graph_bytes(g.n, g.m), launches=1)
-        )
-
     graphs = [g]
     mappings: list[CoarseMapping] = []
     level_stats: list[dict] = []
-    tracker.hold_level(g.n, g.m)
     discarded = False
 
-    while graphs[-1].n > cutoff and len(mappings) < max_levels:
-        fine = graphs[-1]
-        tracker.transient(mapping_workspace(algo_name, fine.n, fine.m))
-        mapping = coarsen_fn(fine, space)
+    with space.span("coarsen", algorithm=algo_name, constructor=constructor, graph=g.name):
+        if space.machine.is_gpu and include_transfer:
+            with space.span("transfer"):
+                space.ledger.charge(
+                    "transfer",
+                    KernelCost(transfer_bytes=graph_bytes(g.n, g.m), launches=1),
+                )
+        tracker.hold_level(g.n, g.m)
 
-        if mapping.n_c >= fine.n:
-            break  # no progress at all: a genuine stall, stop cleanly
+        while graphs[-1].n > cutoff and len(mappings) < max_levels:
+            fine = graphs[-1]
+            level = len(mappings)
+            with space.span("level", level=level, n=fine.n, m=fine.m):
+                tracker.transient(mapping_workspace(algo_name, fine.n, fine.m))
+                with space.span("mapping", level=level, algorithm=algo_name):
+                    mapping = coarsen_fn(fine, space)
 
-        tracker.transient(construction_workspace(mapping.n_c, fine.m, constructor))
-        coarse = construct_fn(fine, mapping, space)
-        tracker.hold_level(coarse.n, coarse.m)
+                if mapping.n_c >= fine.n:
+                    break  # no progress at all: a genuine stall, stop cleanly
 
-        # Paper discard rule: overshooting from >50 to <10 drops the level.
-        if fine.n > cutoff and coarse.n < COARSEN_DISCARD:
-            discarded = True
-            break
+                tracker.transient(construction_workspace(mapping.n_c, fine.m, constructor))
+                with space.span("construction", level=level, constructor=constructor):
+                    coarse = construct_fn(fine, mapping, space)
+                tracker.hold_level(coarse.n, coarse.m)
 
-        graphs.append(coarse)
-        mappings.append(mapping)
-        level_stats.append(
-            {
-                "n": coarse.n,
-                "m": coarse.m,
-                "n_c_ratio": fine.n / max(coarse.n, 1),
-                **{k: v for k, v in mapping.stats.items() if k != "algorithm"},
-            }
-        )
+            # Paper discard rule: overshooting from >50 to <10 drops the level.
+            if fine.n > cutoff and coarse.n < COARSEN_DISCARD:
+                discarded = True
+                break
+
+            graphs.append(coarse)
+            mappings.append(mapping)
+            level_stats.append(
+                {
+                    "n": coarse.n,
+                    "m": coarse.m,
+                    "n_c_ratio": fine.n / max(coarse.n, 1),
+                    **{k: v for k, v in mapping.stats.items() if k != "algorithm"},
+                }
+            )
 
     return GraphHierarchy(
         graphs,

@@ -36,23 +36,24 @@ def construct_global_sort(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace)
     vwgts = coarse_vertex_weights(g, mapping, space)
 
     total = len(mu)
-    order = np.lexsort((mv, mu))
-    mu, mv, w = mu[order], mv[order], w[order]
-    if total:
-        new_run = np.empty(total, dtype=bool)
-        new_run[0] = True
-        new_run[1:] = (mu[1:] != mu[:-1]) | (mv[1:] != mv[:-1])
-        run_ids = np.cumsum(new_run) - 1
-        wsum = np.zeros(int(run_ids[-1]) + 1, dtype=WT)
-        np.add.at(wsum, run_ids, w)
-        first = np.flatnonzero(new_run)
-        mu, mv, w = mu[first], mv[first], wsum
-    space.ledger.charge(
-        "construction",
-        KernelCost(
-            stream_bytes=6.0 * _B * total,
-            sort_key_ops=2.0 * total * max(1.0, np.log2(max(total, 2))),
-            launches=3,
-        ),
-    )
+    with space.span("dedup", strategy="global_sort", skew_opt=False):
+        order = np.lexsort((mv, mu))
+        mu, mv, w = mu[order], mv[order], w[order]
+        if total:
+            new_run = np.empty(total, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = (mu[1:] != mu[:-1]) | (mv[1:] != mv[:-1])
+            run_ids = np.cumsum(new_run) - 1
+            wsum = np.zeros(int(run_ids[-1]) + 1, dtype=WT)
+            np.add.at(wsum, run_ids, w)
+            first = np.flatnonzero(new_run)
+            mu, mv, w = mu[first], mv[first], wsum
+        space.ledger.charge(
+            "construction",
+            KernelCost(
+                stream_bytes=6.0 * _B * total,
+                sort_key_ops=2.0 * total * max(1.0, np.log2(max(total, 2))),
+                launches=3,
+            ),
+        )
     return finalize_csr(n_c, mu, mv, w, vwgts, g.name)

@@ -90,10 +90,11 @@ def construct_heap(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSR
     vwgts = coarse_vertex_weights(g, mapping, space)
 
     if is_skewed(g):
-        c_prime = degree_estimates(mu, n_c, space)
-        keep = keep_lighter_end(mu, mv, u, v, c_prime, space)
-        mu, mv, w = mu[keep], mv[keep], w[keep]
-        mu, mv, w = heap_dedup(mu, mv, w, n_c, space)
+        with space.span("dedup", strategy="heap", skew_opt=True):
+            c_prime = degree_estimates(mu, n_c, space)
+            keep = keep_lighter_end(mu, mv, u, v, c_prime, space)
+            mu, mv, w = mu[keep], mv[keep], w[keep]
+            mu, mv, w = heap_dedup(mu, mv, w, n_c, space)
         mu, mv = np.concatenate([mu, mv]), np.concatenate([mv, mu])
         w = np.concatenate([w, w])
         space.ledger.charge(
@@ -106,7 +107,8 @@ def construct_heap(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSR
             ),
         )
     else:
-        mu, mv, w = heap_dedup(mu, mv, w, n_c, space)
+        with space.span("dedup", strategy="heap", skew_opt=False):
+            mu, mv, w = heap_dedup(mu, mv, w, n_c, space)
         space.ledger.charge(
             "construction",
             KernelCost(stream_bytes=4.0 * _B * len(mu), launches=1),

@@ -50,8 +50,10 @@ def construct_spgemm(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> C
         np.ones(g.n, dtype=WT),
         n_c,
     )
-    t = spgemm(p, a, space)
-    ac = spgemm(t, pt, space)
+    with space.span("spgemm", stage="PA"):
+        t = spgemm(p, a, space)
+    with space.span("spgemm", stage="TPt"):
+        ac = spgemm(t, pt, space)
 
     # drop the diagonal (intra-aggregate weight)
     rows = np.repeat(np.arange(n_c, dtype=VI), np.diff(ac.xadj))

@@ -95,16 +95,36 @@ class CostLedger:
     ``"transfer"``, ``"initial"`` or ``"refinement"``; the experiment
     harness reports per-phase simulated time (e.g. Table II's %GrCo is
     the construction share of coarsening time).
+
+    Observers (:meth:`add_listener`) see every individual charge in
+    order — this is the Kokkos-Tools-style profiling hook the span
+    tracer (:mod:`repro.trace`) plugs into: kernels keep charging the
+    ledger exactly as before, and attribution happens out-of-band.
     """
 
     def __init__(self) -> None:
         self._phases: OrderedDict[str, KernelCost] = OrderedDict()
+        self._listeners: list = []
+
+    def add_listener(self, fn) -> None:
+        """Register ``fn(phase, cost)`` to observe every future charge."""
+        if fn not in self._listeners:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        """Unregister a charge observer (no-op if absent)."""
+        try:
+            self._listeners.remove(fn)
+        except ValueError:
+            pass
 
     def charge(self, phase: str, cost: KernelCost) -> None:
         """Add ``cost`` to ``phase`` (created on first use)."""
         if phase not in self._phases:
             self._phases[phase] = KernelCost()
         self._phases[phase] += cost
+        for fn in self._listeners:
+            fn(phase, cost)
 
     def phase(self, phase: str) -> KernelCost:
         """Total cost charged to ``phase`` (zero cost if never charged)."""

@@ -23,7 +23,9 @@ with a small chunk size ... close in spirit to [sequential] HEC"
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -42,6 +44,9 @@ class ExecSpace:
     ledger: CostLedger = field(default_factory=CostLedger)
     #: waves of at most this many lanes; None = machine.concurrency
     wave_size: int | None = None
+    #: span tracer attached by :meth:`repro.trace.Tracer.attach`; None =
+    #: untraced (``span`` degrades to a no-op context manager)
+    tracer: Any = None
 
     @property
     def concurrency(self) -> int:
@@ -53,10 +58,27 @@ class ExecSpace:
         for start in range(0, total, w):
             yield start, min(start + w, total)
 
+    def span(self, name: str, **labels):
+        """Open a named trace span (Kokkos ``pushRegion`` analogue).
+
+        Kernel costs charged while the span is open are attributed to it
+        by the attached :class:`repro.trace.Tracer`; without a tracer
+        this is a free no-op, so drivers thread spans unconditionally.
+        """
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **labels)
+
     def spawn(self) -> "ExecSpace":
         """A child space sharing the ledger but with an independent,
         deterministically-derived RNG stream."""
-        return ExecSpace(self.machine, np.random.default_rng(self.rng.integers(2**63)), self.ledger, self.wave_size)
+        return ExecSpace(
+            self.machine,
+            np.random.default_rng(self.rng.integers(2**63)),
+            self.ledger,
+            self.wave_size,
+            self.tracer,
+        )
 
     def seconds(self, *, exclude: tuple[str, ...] = ()) -> float:
         """Simulated seconds accumulated on this space's ledger."""

@@ -86,9 +86,11 @@ def multilevel_bisect(
         tracker=tracker,
     )
     if refinement == "spectral":
-        part, stats = _uncoarsen_spectral(hierarchy, space, power_tol)
+        with space.span("uncoarsen", refinement="spectral", graph=g.name):
+            part, stats = _uncoarsen_spectral(hierarchy, space, power_tol)
     elif refinement == "fm":
-        part, stats = _uncoarsen_fm(hierarchy, space, fm_passes, fm_stall_limit)
+        with space.span("uncoarsen", refinement="fm", graph=g.name):
+            part, stats = _uncoarsen_fm(hierarchy, space, fm_passes, fm_stall_limit)
     else:
         raise ValueError(f"unknown refinement {refinement!r}")
 
@@ -110,20 +112,22 @@ def _uncoarsen_spectral(
     """Carry the Fiedler vector from the coarsest to the finest level."""
     kw = {} if power_tol is None else {"tol": power_tol}
     coarsest = hierarchy.coarsest
-    if coarsest.n <= 512:
-        x = fiedler_dense(coarsest, space)
-        iters0 = 0
-    else:  # hierarchies cut off above the dense threshold
-        x, iters0 = fiedler_power_iteration(
-            coarsest, space, max_iters=_COARSE_ITERS, phase="initial", **kw
-        )
+    with space.span("initial", method="fiedler", n=coarsest.n):
+        if coarsest.n <= 512:
+            x = fiedler_dense(coarsest, space)
+            iters0 = 0
+        else:  # hierarchies cut off above the dense threshold
+            x, iters0 = fiedler_power_iteration(
+                coarsest, space, max_iters=_COARSE_ITERS, phase="initial", **kw
+            )
     iters_per_level = [iters0]
     for level in range(len(hierarchy.mappings) - 1, -1, -1):
         fine = hierarchy.graphs[level]
-        x = x[hierarchy.mappings[level].m]  # interpolate
-        x, iters = fiedler_power_iteration(
-            fine, space, x0=x, max_iters=_LEVEL_ITERS, **kw
-        )
+        with space.span("refine", level=level, method="power"):
+            x = x[hierarchy.mappings[level].m]  # interpolate
+            x, iters = fiedler_power_iteration(
+                fine, space, x0=x, max_iters=_LEVEL_ITERS, **kw
+            )
         iters_per_level.append(iters)
     part = median_split(x, hierarchy.graphs[0].vwgts)
     return part, {"power_iters": iters_per_level}
@@ -137,13 +141,16 @@ def _uncoarsen_fm(
 ) -> tuple[np.ndarray, dict]:
     """GGG at the coarsest level, FM at every level, exact final balance."""
     coarsest = hierarchy.coarsest
-    part = greedy_graph_growing(coarsest, space)
     kw = {"max_passes": fm_passes, "stall_limit": fm_stall_limit}
-    part = fm_refine(coarsest, part, space, **kw)
+    with space.span("initial", method="ggg+fm", n=coarsest.n):
+        part = greedy_graph_growing(coarsest, space)
+        part = fm_refine(coarsest, part, space, **kw)
     for level in range(len(hierarchy.mappings) - 1, -1, -1):
         fine = hierarchy.graphs[level]
-        part = part[hierarchy.mappings[level].m]  # project
-        part = fm_refine(fine, part, space, **kw)
+        with space.span("refine", level=level, method="fm"):
+            part = part[hierarchy.mappings[level].m]  # project
+            part = fm_refine(fine, part, space, **kw)
     finest = hierarchy.graphs[0]
-    part = rebalance_exact(finest, part, space)
+    with space.span("rebalance"):
+        part = rebalance_exact(finest, part, space)
     return part, {}

@@ -1,0 +1,45 @@
+"""Kokkos-Tools-style span tracing for the simulated substrate.
+
+``Tracer`` attaches to an :class:`~repro.parallel.execspace.ExecSpace`
+and attributes every kernel cost charged to the ledger to the innermost
+open span; drivers thread named spans (``with space.span("mapping",
+level=3): ...``) so existing kernels need no changes.  Exporters cover
+chrome://tracing JSON (Perfetto), flat JSON/CSV rollups, and committed
+baselines gated by ``python -m repro.trace diff``.
+"""
+
+from .baseline import (
+    BASELINE_FORMAT,
+    baseline_entry,
+    collect_baseline,
+    corpus_baseline,
+    save_baseline,
+)
+from .core import TRACE_FORMAT, Span, Tracer, load_trace
+from .diff import diff, diff_baselines, diff_traces, format_findings, load_any
+from .export import chrome_trace, save_chrome
+from .rollup import level_rows, phase_rows, rollup_by_path, span_rows, to_csv
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "TRACE_FORMAT",
+    "BASELINE_FORMAT",
+    "load_trace",
+    "load_any",
+    "diff",
+    "diff_traces",
+    "diff_baselines",
+    "format_findings",
+    "chrome_trace",
+    "save_chrome",
+    "phase_rows",
+    "level_rows",
+    "span_rows",
+    "rollup_by_path",
+    "to_csv",
+    "baseline_entry",
+    "collect_baseline",
+    "corpus_baseline",
+    "save_baseline",
+]

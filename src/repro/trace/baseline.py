@@ -1,0 +1,85 @@
+"""Committed performance baselines (``BENCH_baseline.json``).
+
+A baseline is a keyed collection of per-configuration rollups — total
+simulated seconds plus per-phase seconds — distilled from traces.  It
+seeds the repo's perf trajectory: CI regenerates a subset of traces and
+gates them against the committed file with ``python -m repro.trace
+diff``; optimization PRs regenerate the whole file to record their
+improvement.  Entries deliberately drop the span tree (totals and phase
+splits are what Tables II–VI track); full traces live next to benchmark
+results via ``--trace-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["BASELINE_FORMAT", "baseline_entry", "collect_baseline", "save_baseline", "corpus_baseline"]
+
+#: format tag of baseline files
+BASELINE_FORMAT = "repro-bench-baseline/1"
+
+
+def baseline_entry(trace: dict) -> dict:
+    """Distill one serialized trace into a baseline entry."""
+    return {
+        "machine": trace.get("machine"),
+        "labels": dict(trace.get("labels", {})),
+        "total_s": trace["total_s"],
+        "phases": {p: d["seconds"] for p, d in trace["phases"].items()},
+    }
+
+
+def collect_baseline(traces: list[dict], note: str = "") -> dict:
+    """Assemble a baseline file from serialized traces, keyed by config."""
+    entries = {}
+    for trace in traces:
+        entries[trace.get("key", "trace")] = baseline_entry(trace)
+    out = {"format": BASELINE_FORMAT, "entries": dict(sorted(entries.items()))}
+    if note:
+        out["note"] = note
+    return out
+
+
+def save_baseline(baseline: dict, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def corpus_baseline(seed: int = 0, graphs: list[str] | None = None,
+                    progress=None) -> dict:
+    """Regenerate the full corpus baseline (what ``BENCH_baseline.json`` holds).
+
+    Per corpus graph: HEC+sort coarsening on both machine models
+    (Tables II/III/IV ground) and GPU bisection with spectral and FM
+    refinement (Tables V/VI ground).  OOM simulation is disabled so
+    every entry carries numbers — the baseline tracks *time*, the OOM
+    table cells are reproduced by the benchmark suites.
+    """
+    from ..bench.harness import corpus_graph, run_coarsening, run_partition
+    from ..generators.corpus import CORPUS
+
+    names = graphs if graphs is not None else [s.name for s in CORPUS]
+    traces: list[dict] = []
+    for name in names:
+        g, spec = corpus_graph(name, seed)
+        runs = [
+            lambda m=m: run_coarsening(g, spec, machine=m, seed=seed, oom=False)
+            for m in ("gpu", "cpu")
+        ] + [
+            lambda r=r: run_partition(g, spec, machine="gpu", refinement=r,
+                                      seed=seed, oom=False)
+            for r in ("spectral", "fm")
+        ]
+        for run in runs:
+            trace = run()["trace"].to_dict()
+            traces.append(trace)
+            if progress is not None:
+                progress(trace["key"], trace["total_s"])
+    return collect_baseline(
+        traces, note=f"corpus baseline, seed={seed}: HEC+sort coarsening "
+                     f"(gpu+cpu) and gpu bisection (spectral+fm) per graph"
+    )

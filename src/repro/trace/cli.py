@@ -1,0 +1,167 @@
+"""``python -m repro.trace`` — inspect, gate, and export trace files.
+
+Subcommands::
+
+    view TRACE [--by span|phase|level]   per-span / per-phase / per-level
+                                         breakdown tables (Tables II–VI style)
+    diff BASE NEW... [--rtol R]          regression gate: exit 1 when any
+                                         span/phase/total drifts past tolerance
+    export TRACE [-o OUT]                chrome://tracing JSON (open in
+                                         Perfetto / chrome://tracing)
+    baseline [-o OUT] [--graphs a,b]     regenerate the corpus baseline
+                                         (BENCH_baseline.json)
+
+``diff`` accepts a committed baseline as BASE and any number of freshly
+generated traces as NEW — that is the CI bench-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import corpus_baseline, save_baseline
+from .core import load_trace
+from .diff import diff, format_findings, load_any
+from .export import save_chrome
+from .rollup import level_rows, phase_rows, span_rows, to_csv
+
+__all__ = ["main"]
+
+
+def _format_table(rows: list[dict], columns: list[tuple[str, str, str]], title: str = "") -> str:
+    from ..bench.report import format_table
+
+    return format_table(rows, columns, title)
+
+
+def cmd_view(args) -> int:
+    trace = load_trace(args.trace)
+    title = f"{trace['key']}  machine={trace['machine']}  total={trace['total_s']:.6g}s"
+    if args.by == "phase":
+        rows = phase_rows(trace)
+        columns = [("phase", "Phase", "s"), ("seconds", "Seconds", ".6g"), ("pct", "%", ".1f")]
+    elif args.by == "level":
+        rows = level_rows(trace)
+        columns = [
+            ("level", "Level", "d"),
+            ("seconds", "Seconds", ".6g"),
+            ("mapping_s", "Mapping", ".6g"),
+            ("construction_s", "Constr", ".6g"),
+            ("dedup_s", "Dedup", ".6g"),
+            ("refine_s", "Refine", ".6g"),
+            ("pct", "%", ".1f"),
+        ]
+    else:
+        rows = span_rows(trace, max_depth=args.depth)
+        columns = [
+            ("span", "Span", "s"),
+            ("inclusive_s", "Inclusive", ".6g"),
+            ("exclusive_s", "Exclusive", ".6g"),
+            ("pct", "%", ".1f"),
+            ("charges", "Charges", "d"),
+            ("labels", "Labels", "s"),
+        ]
+    if args.csv:
+        print(to_csv(rows), end="")
+    else:
+        print(_format_table(rows, columns, title))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    try:
+        base = load_any(args.base)
+        news = [load_any(p) for p in args.new]
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    findings: list[dict] = []
+    for new in news:
+        findings.extend(diff(base, new, rtol=args.rtol, atol=args.atol,
+                             spans=not args.no_spans))
+    if args.json:
+        print(json.dumps(findings, indent=1))
+    elif findings:
+        print(format_findings(findings))
+    compared = len(news)
+    if findings:
+        print(f"{len(findings)} drift(s) past rtol={args.rtol} atol={args.atol} "
+              f"across {compared} trace(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {compared} trace(s) within rtol={args.rtol} atol={args.atol}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    trace = load_trace(args.trace)
+    out = args.output or Path(args.trace).with_suffix(".chrome.json")
+    save_chrome(trace, out)
+    print(f"wrote {out} ({len(trace['spans'])} spans) — open in Perfetto "
+          f"or chrome://tracing")
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    graphs = args.graphs.split(",") if args.graphs else None
+
+    def progress(key: str, total_s: float) -> None:
+        print(f"  {key:<40} {total_s:.6g}s")
+
+    baseline = corpus_baseline(seed=args.seed, graphs=graphs,
+                               progress=progress if not args.quiet else None)
+    save_baseline(baseline, args.output)
+    print(f"wrote {args.output} ({len(baseline['entries'])} entries)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="inspect, regression-gate, and export kernel-span traces",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p_view = sub.add_parser("view", help="breakdown tables from a trace file")
+    p_view.add_argument("trace", help="trace JSON file")
+    p_view.add_argument("--by", choices=("span", "phase", "level"), default="span")
+    p_view.add_argument("--depth", type=int, default=None, help="max span depth shown")
+    p_view.add_argument("--csv", action="store_true", help="CSV instead of a table")
+
+    p_diff = sub.add_parser("diff", help="compare traces/baselines (exit 1 on drift)")
+    p_diff.add_argument("base", help="baseline or trace JSON (the reference)")
+    p_diff.add_argument("new", nargs="+", help="trace/baseline JSON file(s) to gate")
+    p_diff.add_argument("--rtol", type=float, default=0.05,
+                        help="relative tolerance per quantity (default 0.05)")
+    p_diff.add_argument("--atol", type=float, default=1e-9,
+                        help="absolute tolerance in seconds (default 1e-9)")
+    p_diff.add_argument("--no-spans", action="store_true",
+                        help="compare only totals and phases, not span paths")
+    p_diff.add_argument("--json", action="store_true", help="findings as JSON")
+
+    p_exp = sub.add_parser("export", help="convert a trace to chrome://tracing JSON")
+    p_exp.add_argument("trace", help="trace JSON file")
+    p_exp.add_argument("-o", "--output", type=Path, default=None,
+                       help="output path (default: <trace>.chrome.json)")
+
+    p_base = sub.add_parser("baseline", help="regenerate the corpus perf baseline")
+    p_base.add_argument("-o", "--output", type=Path, default=Path("BENCH_baseline.json"))
+    p_base.add_argument("--seed", type=int, default=0)
+    p_base.add_argument("--graphs", default=None,
+                        help="comma-separated corpus graph names (default: all)")
+    p_base.add_argument("--quiet", action="store_true")
+
+    args = ap.parse_args(argv)
+    handler = {
+        "view": cmd_view,
+        "diff": cmd_diff,
+        "export": cmd_export,
+        "baseline": cmd_baseline,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""Trace comparison: the simulated-time regression gate.
+
+Simulated seconds are deterministic functions of algorithm and input, so
+two traces of the same configuration should agree to float noise; a
+drift past tolerance means the *cost model or the algorithm changed* —
+exactly what a perf-affecting PR must surface.  ``diff`` compares
+
+* trace vs trace — totals, per-phase seconds, and per-span-path
+  inclusive seconds;
+* baseline vs trace — the baseline entry matching the trace's config
+  key (totals + phases; baselines don't keep span trees);
+* baseline vs baseline — every common entry, plus missing/extra keys.
+
+A finding is a dict; empty list = within tolerance.  The tolerance is
+``|new - base| <= atol + rtol * |base|`` per compared quantity.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .baseline import BASELINE_FORMAT
+from .core import TRACE_FORMAT
+from .rollup import rollup_by_path
+
+__all__ = ["load_any", "diff", "diff_traces", "diff_baseline_entry", "diff_baselines", "format_findings"]
+
+
+def load_any(path) -> dict:
+    """Load a trace or baseline file, validating the format tag."""
+    data = json.loads(Path(path).read_text())
+    fmt = data.get("format")
+    if fmt not in (TRACE_FORMAT, BASELINE_FORMAT):
+        raise ValueError(f"{path}: unknown format {fmt!r}")
+    return data
+
+
+def _within(base: float, new: float, rtol: float, atol: float) -> bool:
+    return abs(new - base) <= atol + rtol * abs(base)
+
+
+def _finding(where: str, metric: str, base, new) -> dict:
+    drift = None
+    if isinstance(base, float) and isinstance(new, float) and base != 0:
+        drift = (new - base) / abs(base)
+    return {"where": where, "metric": metric, "base": base, "new": new, "drift": drift}
+
+
+def _compare_scalar(findings, where, metric, base, new, rtol, atol):
+    if base is None or new is None:
+        if base != new:
+            findings.append(_finding(where, metric, base, new))
+        return
+    if not _within(float(base), float(new), rtol, atol):
+        findings.append(_finding(where, metric, float(base), float(new)))
+
+
+def _compare_phases(findings, where, base_phases, new_phases, rtol, atol):
+    for phase in sorted(set(base_phases) | set(new_phases)):
+        base_s = base_phases.get(phase)
+        new_s = new_phases.get(phase)
+        base_s = base_s["seconds"] if isinstance(base_s, dict) else base_s
+        new_s = new_s["seconds"] if isinstance(new_s, dict) else new_s
+        _compare_scalar(findings, where, f"phase:{phase}", base_s, new_s, rtol, atol)
+
+
+def diff_traces(base: dict, new: dict, *, rtol: float = 0.05, atol: float = 1e-9,
+                spans: bool = True) -> list[dict]:
+    """Compare two serialized traces span-by-span."""
+    findings: list[dict] = []
+    where = new.get("key", "trace")
+    _compare_scalar(findings, where, "total_s", base["total_s"], new["total_s"], rtol, atol)
+    _compare_phases(findings, where, base["phases"], new["phases"], rtol, atol)
+    if spans:
+        base_paths = rollup_by_path(base)
+        new_paths = rollup_by_path(new)
+        for path in sorted(set(base_paths) | set(new_paths)):
+            b, n = base_paths.get(path), new_paths.get(path)
+            if b is None or n is None:
+                findings.append(
+                    _finding(where, f"span:{path}",
+                             b["inclusive_s"] if b else None,
+                             n["inclusive_s"] if n else None)
+                )
+                continue
+            _compare_scalar(findings, where, f"span:{path}",
+                            b["inclusive_s"], n["inclusive_s"], rtol, atol)
+    return findings
+
+
+def diff_baseline_entry(baseline: dict, trace: dict, *, rtol: float = 0.05,
+                        atol: float = 1e-9) -> list[dict]:
+    """Gate one trace against its committed baseline entry."""
+    key = trace.get("key", "trace")
+    entry = baseline.get("entries", {}).get(key)
+    if entry is None:
+        return [_finding(key, "baseline-entry", None, trace["total_s"])]
+    findings: list[dict] = []
+    _compare_scalar(findings, key, "total_s", entry.get("total_s"), trace["total_s"], rtol, atol)
+    _compare_phases(findings, key, entry.get("phases", {}), trace["phases"], rtol, atol)
+    return findings
+
+
+def diff_baselines(base: dict, new: dict, *, rtol: float = 0.05,
+                   atol: float = 1e-9) -> list[dict]:
+    """Compare two baseline files entry-by-entry."""
+    findings: list[dict] = []
+    base_entries = base.get("entries", {})
+    new_entries = new.get("entries", {})
+    for key in sorted(set(base_entries) | set(new_entries)):
+        b, n = base_entries.get(key), new_entries.get(key)
+        if b is None or n is None:
+            findings.append(_finding(key, "entry",
+                                     b.get("total_s") if b else None,
+                                     n.get("total_s") if n else None))
+            continue
+        _compare_scalar(findings, key, "total_s", b.get("total_s"), n.get("total_s"), rtol, atol)
+        _compare_phases(findings, key, b.get("phases", {}), n.get("phases", {}), rtol, atol)
+    return findings
+
+
+def diff(base: dict, new: dict, *, rtol: float = 0.05, atol: float = 1e-9,
+         spans: bool = True) -> list[dict]:
+    """Dispatch on the operand formats (see module docstring)."""
+    base_is_baseline = base.get("format") == BASELINE_FORMAT
+    new_is_baseline = new.get("format") == BASELINE_FORMAT
+    if base_is_baseline and new_is_baseline:
+        return diff_baselines(base, new, rtol=rtol, atol=atol)
+    if base_is_baseline:
+        return diff_baseline_entry(base, new, rtol=rtol, atol=atol)
+    if new_is_baseline:
+        raise ValueError("cannot diff a trace against a baseline in that order; "
+                         "pass the baseline first")
+    return diff_traces(base, new, rtol=rtol, atol=atol, spans=spans)
+
+
+def format_findings(findings: list[dict]) -> str:
+    """Human-readable drift report, one line per finding."""
+    lines = []
+    for f in findings:
+        base = "-" if f["base"] is None else f"{f['base']:.6g}"
+        new = "-" if f["new"] is None else f"{f['new']:.6g}"
+        drift = "" if f["drift"] is None else f"  ({f['drift']:+.1%})"
+        lines.append(f"DRIFT {f['where']}  {f['metric']}: {base} -> {new}{drift}")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Exporters: chrome://tracing JSON (Perfetto-viewable) from a trace.
+
+The simulated substrate executes kernels sequentially, so one process /
+one thread with complete ("ph": "X") events reproduces the nesting —
+Perfetto draws the span hierarchy from interval containment.  The
+clock is *simulated* seconds, exported as microseconds (the trace-event
+convention), so a 2.5 ms simulated kernel shows as a 2.5 ms slice.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["chrome_trace", "save_chrome"]
+
+
+def chrome_trace(trace: dict) -> dict:
+    """Convert a serialized trace to the chrome://tracing JSON format."""
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"repro-sim ({trace.get('machine')})"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": trace.get("key", "trace")},
+        },
+    ]
+    for span in trace["spans"]:
+        events.append(
+            {
+                "name": span["name"],
+                "cat": span["labels"].get("kind", span["name"]),
+                "ph": "X",
+                "ts": span["begin_s"] * 1e6,
+                "dur": (span["end_s"] - span["begin_s"]) * 1e6,
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    **span["labels"],
+                    "path": span["path"],
+                    "exclusive_s": span["exclusive_s"],
+                    "inclusive_s": span["inclusive_s"],
+                    "charges": span["charges"],
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def save_chrome(trace: dict, path) -> Path:
+    """Write the chrome://tracing conversion of ``trace`` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(trace), indent=1))
+    return path

@@ -1,0 +1,148 @@
+"""Flat rollups over serialized traces: per-phase, per-level, per-span.
+
+These aggregate the span tree of a trace *dict* (``Tracer.to_dict()`` or
+``load_trace``) into the breakdown rows the CLI prints and the diff
+gate compares — the same per-level / per-phase splits the paper's
+Tables II–VI and Fig. 3 report.
+"""
+
+from __future__ import annotations
+
+import io
+
+__all__ = ["phase_rows", "level_rows", "span_rows", "rollup_by_path", "to_csv"]
+
+
+def _pct(part: float, total: float) -> float:
+    return 100.0 * part / total if total > 0 else 0.0
+
+
+def phase_rows(trace: dict) -> list[dict]:
+    """One row per ledger phase: seconds and share of total."""
+    total = trace["total_s"]
+    rows = []
+    for phase, data in trace["phases"].items():
+        rows.append(
+            {
+                "phase": phase,
+                "seconds": data["seconds"],
+                "pct": _pct(data["seconds"], total),
+                "charges": None,
+            }
+        )
+    return rows
+
+
+def level_rows(trace: dict) -> list[dict]:
+    """One row per hierarchy level: inclusive time plus phase children.
+
+    Aggregates spans carrying a ``level`` label — ``level`` spans from
+    the coarsening driver and ``refine`` spans from uncoarsening both
+    land here, keyed by level index; spans without their own label
+    (e.g. ``dedup`` children) inherit the nearest ancestor's level.
+    """
+    by_id = {span["id"]: span for span in trace["spans"]}
+
+    def level_of(span: dict):
+        while span is not None:
+            level = span["labels"].get("level")
+            if level is not None:
+                return level
+            span = by_id.get(span["parent"])
+        return None
+
+    by_level: dict[int, dict] = {}
+    for span in trace["spans"]:
+        level = level_of(span)
+        if level is None:
+            continue
+        row = by_level.setdefault(
+            level,
+            {"level": level, "seconds": 0.0, "mapping_s": 0.0,
+             "construction_s": 0.0, "dedup_s": 0.0, "refine_s": 0.0,
+             "charges": 0},
+        )
+        if span["name"] in ("level", "refine"):
+            row["seconds"] += span["inclusive_s"]
+            row["charges"] += span["charges"]
+        # per-level splits: mapping / construction / dedup child spans
+        if span["name"] in ("mapping", "construction", "dedup", "refine"):
+            row[f"{span['name']}_s"] += span["inclusive_s"]
+    total = trace["total_s"]
+    rows = sorted(by_level.values(), key=lambda r: r["level"])
+    for row in rows:
+        row["pct"] = _pct(row["seconds"], total)
+    return rows
+
+
+def rollup_by_path(trace: dict) -> dict[str, dict]:
+    """Aggregate spans sharing a path (e.g. two ``spgemm`` siblings)."""
+    out: dict[str, dict] = {}
+    for span in trace["spans"]:
+        row = out.setdefault(
+            span["path"],
+            {
+                "path": span["path"],
+                "name": span["name"],
+                "inclusive_s": 0.0,
+                "exclusive_s": 0.0,
+                "charges": 0,
+                "count": 0,
+            },
+        )
+        row["inclusive_s"] += span["inclusive_s"]
+        row["exclusive_s"] += span["exclusive_s"]
+        row["charges"] += span["charges"]
+        row["count"] += 1
+    return out
+
+
+def span_rows(trace: dict, max_depth: int | None = None) -> list[dict]:
+    """One row per span in tree order, with indentation depth."""
+    by_id = {span["id"]: span for span in trace["spans"]}
+
+    def depth(span: dict) -> int:
+        d = 0
+        while span["parent"] is not None:
+            span = by_id[span["parent"]]
+            d += 1
+        return d
+
+    total = trace["total_s"]
+    rows = []
+    for span in trace["spans"]:
+        d = depth(span)
+        if max_depth is not None and d > max_depth:
+            continue
+        rows.append(
+            {
+                "span": "  " * d + span["name"],
+                "path": span["path"],
+                "labels": " ".join(
+                    f"{k}={v}" for k, v in span["labels"].items() if k != "kind"
+                ),
+                "inclusive_s": span["inclusive_s"],
+                "exclusive_s": span["exclusive_s"],
+                "pct": _pct(span["inclusive_s"], total),
+                "charges": span["charges"],
+            }
+        )
+    return rows
+
+
+def to_csv(rows: list[dict]) -> str:
+    """Render rollup rows as CSV (union of keys, insertion order)."""
+    import csv
+
+    if not rows:
+        return ""
+    fields: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()

@@ -89,11 +89,40 @@ class TestRunners:
         assert 0 <= r["coarsen_pct"] <= 100
         assert r["total_s"] == pytest.approx(r["coarsen_s"] + r["refine_s"])
 
+    def test_run_partition_reports_peak_mem(self):
+        g, spec = corpus_graph("ppa")
+        r = run_partition(g, spec, machine="gpu", refinement="spectral", oom=True)
+        assert not r["oom"]
+        assert r["peak_mem"] > 0
+
+    def test_runners_carry_closed_traces(self):
+        g = random_connected(200, 350, seed=6).with_name("t")
+        for r in (
+            run_coarsening(g, None, machine="gpu"),
+            run_partition(g, None, machine="gpu", refinement="spectral"),
+        ):
+            tr = r["trace"]
+            assert tr.root.end_s is not None  # closed
+            assert tr.total_seconds() == pytest.approx(r["total_s"], abs=1e-9)
+
     def test_oom_reported_not_raised(self):
         g, spec = corpus_graph("ic04")
         r = run_coarsening(g, spec, machine="gpu", coarsener="hem", oom=True)
         assert r["oom"] is True
         assert r["total_s"] is None
+        assert r["trace"].root.end_s is not None  # trace survives the OOM
+
+    def test_write_trace_and_results(self, tmp_path):
+        from repro.bench import write_results, write_trace
+
+        g = random_connected(150, 250, seed=8).with_name("t")
+        r = run_coarsening(g, None, machine="gpu")
+        path = write_trace(r, tmp_path)
+        assert path is not None and path.exists()
+        assert path.name.endswith(".trace.json")
+        results = write_results([r], tmp_path)
+        rows = __import__("json").loads(results.read_text())
+        assert rows[0]["graph"] == "t" and "hierarchy" not in rows[0]
 
 
 class TestExperimentsSmoke:

@@ -128,6 +128,55 @@ class TestSpaces:
         child = sp.spawn()
         assert child.ledger is sp.ledger
 
+    def test_spawn_child_draws_leave_parent_stream_alone(self):
+        # spawning advances the parent RNG once (to derive the child
+        # seed), but the child's own draws must not perturb the parent's
+        # subsequent stream
+        a, b = gpu_space(11), gpu_space(11)
+        child_a = a.spawn()
+        child_b = b.spawn()
+        child_a.rng.integers(0, 100, 1000)  # only a's child draws
+        assert np.array_equal(a.rng.integers(0, 100, 50), b.rng.integers(0, 100, 50))
+        assert np.array_equal(
+            child_b.rng.integers(0, 100, 10), np.random.default_rng(
+                np.random.default_rng(11).integers(2**63)).integers(0, 100, 10)
+        )
+
+    def test_spawn_deterministic_per_seed(self):
+        a = gpu_space(5).spawn().rng.integers(0, 1000, 20)
+        b = gpu_space(5).spawn().rng.integers(0, 1000, 20)
+        c = gpu_space(6).spawn().rng.integers(0, 1000, 20)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_spawn_child_stream_differs_from_parent(self):
+        sp = gpu_space(2)
+        child = sp.spawn()
+        assert not np.array_equal(
+            sp.rng.integers(0, 1000, 20), child.rng.integers(0, 1000, 20)
+        )
+
+    def test_spawn_shared_ledger_accumulates_from_both(self):
+        sp = gpu_space(3)
+        child = sp.spawn()
+        sp.ledger.charge("mapping", KernelCost(stream_bytes=100))
+        child.ledger.charge("mapping", KernelCost(stream_bytes=25))
+        assert sp.ledger.phase("mapping").stream_bytes == 125
+        assert sp.seconds() == child.seconds()
+
+    def test_spawn_propagates_tracer(self):
+        from repro.trace import Tracer
+
+        sp = gpu_space(4)
+        tr = Tracer("t").attach(sp)
+        child = sp.spawn()
+        assert child.tracer is tr
+        with child.span("child-work"):
+            child.ledger.charge("mapping", KernelCost(stream_bytes=7))
+        tr.close()
+        assert tr.root.children[0].name == "child-work"
+        assert tr.root.children[0].exclusive_cost().stream_bytes == 7
+
     def test_seconds_exclude(self):
         sp = gpu_space(0)
         sp.ledger.charge("transfer", KernelCost(transfer_bytes=12e9))

@@ -1,0 +1,302 @@
+"""Tracing subsystem: span attribution, rollups, exporters, regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import run_coarsening, run_partition
+from repro.parallel import KernelCost, gpu_space
+from repro.trace import (
+    BASELINE_FORMAT,
+    TRACE_FORMAT,
+    Tracer,
+    baseline_entry,
+    chrome_trace,
+    collect_baseline,
+    diff,
+    diff_traces,
+    load_trace,
+)
+from repro.trace.cli import main as trace_cli
+from repro.trace.rollup import level_rows, phase_rows, rollup_by_path, span_rows, to_csv
+
+from tests.conftest import random_connected
+
+
+def traced_coarsening(seed=1, n=200, m=350, **kw):
+    g = random_connected(n, m, seed=seed).with_name("t")
+    return run_coarsening(g, None, machine="gpu", seed=seed, **kw)
+
+
+class TestTracerCore:
+    def test_untraced_span_is_noop(self):
+        sp = gpu_space(0)
+        with sp.span("anything", level=3):
+            sp.ledger.charge("mapping", KernelCost(stream_bytes=100))
+        assert sp.tracer is None
+
+    def test_charges_attributed_to_innermost(self):
+        sp = gpu_space(0)
+        tr = Tracer("t").attach(sp)
+        with sp.span("outer"):
+            sp.ledger.charge("mapping", KernelCost(stream_bytes=100))
+            with sp.span("inner"):
+                sp.ledger.charge("mapping", KernelCost(stream_bytes=900))
+        tr.close()
+        outer = tr.root.children[0]
+        inner = outer.children[0]
+        assert outer.exclusive_cost().stream_bytes == 100
+        assert inner.exclusive_cost().stream_bytes == 900
+        assert outer.inclusive_cost().stream_bytes == 1000
+
+    def test_root_catches_unscoped_charges(self):
+        sp = gpu_space(0)
+        tr = Tracer("t").attach(sp)
+        sp.ledger.charge("transfer", KernelCost(transfer_bytes=50))
+        tr.close()
+        assert tr.root.exclusive_cost().transfer_bytes == 50
+
+    def test_close_unwinds_open_spans_and_detaches(self):
+        sp = gpu_space(0)
+        tr = Tracer("t").attach(sp)
+        cm = tr.span("leaked")
+        cm.__enter__()
+        tr.close()
+        assert sp.tracer is None
+        leaked = tr.root.children[0]
+        assert leaked.end_s is not None
+        # post-close charges no longer reach the tracer
+        sp.ledger.charge("mapping", KernelCost(stream_bytes=1))
+        assert tr.total_seconds() == 0.0
+
+    def test_clock_advances_with_priced_charges(self):
+        sp = gpu_space(0)
+        tr = Tracer("t").attach(sp)
+        with sp.span("a") as a:
+            sp.ledger.charge("mapping", KernelCost(stream_bytes=532e9))
+        tr.close()
+        assert a.begin_s == 0.0
+        assert a.end_s == pytest.approx(1.0)
+
+    def test_machine_mismatch_rejected(self):
+        from repro.parallel import cpu_space
+
+        tr = Tracer("t").attach(gpu_space(0))
+        with pytest.raises(ValueError):
+            tr.attach(cpu_space(0))
+
+    def test_config_key_from_labels(self):
+        tr = Tracer("t", labels={"kind": "coarsen", "machine": "gpu",
+                                 "graph": "ppa", "seed": 3})
+        assert tr.config_key() == "coarsen:gpu:ppa:3"
+        assert Tracer("bare").config_key() == "bare"
+
+
+class TestHarnessIntegration:
+    def test_phase_rollup_matches_ledger_exactly(self):
+        """Acceptance: tracer per-phase seconds == ledger phase_seconds bitwise."""
+        r = traced_coarsening()
+        tr = r["trace"]
+        assert tr.phase_seconds("mapping") == r["mapping_s"]
+        assert tr.phase_seconds("construction") == r["construction_s"]
+        assert tr.phase_seconds("transfer") == r["transfer_s"]
+        assert tr.total_seconds() == pytest.approx(r["total_s"], abs=1e-9)
+
+    def test_span_tree_nests_per_level(self):
+        r = traced_coarsening()
+        trace = r["trace"].to_dict()
+        by_name = {}
+        for span in trace["spans"]:
+            by_name.setdefault(span["name"], []).append(span)
+        levels = by_name["level"]
+        assert len(levels) == r["levels"] - 1
+        assert [s["labels"]["level"] for s in levels] == list(range(len(levels)))
+        by_id = {s["id"]: s for s in trace["spans"]}
+        for mapping in by_name["mapping"]:
+            parent = by_id[mapping["parent"]]
+            assert parent["name"] == "level"
+            assert parent["labels"]["level"] == mapping["labels"]["level"]
+        assert all(by_id[c["parent"]]["name"] == "level" for c in by_name["construction"])
+        assert by_name["dedup"], "construction should open dedup spans"
+
+    def test_intervals_nest_within_parents(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        by_id = {s["id"]: s for s in trace["spans"]}
+        for span in trace["spans"]:
+            assert span["end_s"] >= span["begin_s"]
+            if span["parent"] is not None:
+                parent = by_id[span["parent"]]
+                assert span["begin_s"] >= parent["begin_s"]
+                assert span["end_s"] <= parent["end_s"]
+
+    def test_root_inclusive_equals_total(self):
+        tr = traced_coarsening()["trace"]
+        assert tr.seconds(tr.root) == tr.total_seconds()
+
+    def test_partition_trace_covers_refinement(self):
+        g = random_connected(200, 350, seed=4).with_name("t")
+        r = run_partition(g, None, machine="gpu", refinement="fm")
+        names = {s["name"] for s in r["trace"].to_dict()["spans"]}
+        assert {"coarsen", "uncoarsen", "initial", "refine"} <= names
+
+    def test_deterministic_traces(self):
+        a = traced_coarsening()["trace"].to_dict()
+        b = traced_coarsening()["trace"].to_dict()
+        assert a == b
+
+
+class TestConservation:
+    """Satellite: every simulated second lands in exactly one span/phase."""
+
+    def test_bisect_phase_sum_matches_space_seconds(self):
+        g = random_connected(250, 450, seed=7).with_name("t")
+        from repro.bench import space_for
+        from repro.partition import multilevel_bisect
+
+        space = space_for("gpu", 7)
+        tr = Tracer("bisect").attach(space)
+        multilevel_bisect(g, space, refinement="fm")
+        tr.close()
+        ledger_total = space.seconds()
+        phase_sum = sum(tr.phase_seconds(p) for p in tr.phases())
+        assert phase_sum == pytest.approx(ledger_total, abs=1e-9)
+        assert tr.total_seconds() == pytest.approx(ledger_total, abs=1e-9)
+
+    def test_rollups_conserve_total(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        total = trace["total_s"]
+        phases = sum(r["seconds"] for r in phase_rows(trace))
+        assert phases == pytest.approx(total, abs=1e-9)
+        exclusive = sum(s["exclusive_s"] for s in trace["spans"])
+        assert exclusive == pytest.approx(total, abs=1e-9)
+
+
+class TestRollups:
+    def test_level_rows_splits(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        rows = level_rows(trace)
+        assert [r["level"] for r in rows] == list(range(len(rows)))
+        for row in rows:
+            assert row["mapping_s"] > 0
+            assert row["construction_s"] > 0
+            assert row["dedup_s"] > 0  # inherited from construction ancestor
+            assert row["seconds"] >= row["mapping_s"] + row["construction_s"] - 1e-12
+
+    def test_span_rows_depth_filter(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        all_rows = span_rows(trace)
+        top = span_rows(trace, max_depth=1)
+        assert len(top) < len(all_rows)
+        assert all_rows[0]["span"] == "run_coarsening"
+
+    def test_to_csv_union_of_keys(self):
+        out = to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        assert out.splitlines()[0] == "a,b"
+        assert to_csv([]) == ""
+
+
+class TestExportAndPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        tr = traced_coarsening()["trace"]
+        path = tr.save(tmp_path / "x.trace.json")
+        loaded = load_trace(path)
+        assert loaded == tr.to_dict()
+        assert loaded["format"] == TRACE_FORMAT
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError):
+            load_trace(p)
+
+    def test_chrome_trace_valid(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        chrome = chrome_trace(trace)
+        events = chrome["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == len(trace["spans"])
+        for e in xs:
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["pid"] == 0 and e["tid"] == 0
+        assert any(e["ph"] == "M" for e in events)
+        json.dumps(chrome)  # must be serializable
+
+
+class TestDiff:
+    def test_identical_traces_no_findings(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        assert diff_traces(trace, trace) == []
+
+    def test_drift_detected(self):
+        base = traced_coarsening()["trace"].to_dict()
+        new = json.loads(json.dumps(base))
+        new["total_s"] *= 2
+        findings = diff_traces(base, new)
+        assert any(f["metric"] == "total_s" for f in findings)
+
+    def test_missing_span_path_is_finding(self):
+        base = traced_coarsening()["trace"].to_dict()
+        new = json.loads(json.dumps(base))
+        new["spans"] = [s for s in new["spans"] if s["name"] != "dedup"]
+        findings = diff_traces(base, new)
+        assert any(f["metric"].startswith("span:") and f["new"] is None
+                   for f in findings)
+
+    def test_baseline_gate(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        baseline = collect_baseline([trace])
+        assert baseline["format"] == BASELINE_FORMAT
+        assert diff(baseline, trace) == []
+        drifted = json.loads(json.dumps(trace))
+        drifted["phases"]["mapping"]["seconds"] *= 3
+        assert diff(baseline, drifted)
+
+    def test_baseline_missing_entry(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        other = json.loads(json.dumps(trace))
+        other["key"] = "coarsen:other:key"
+        findings = diff(collect_baseline([trace]), other)
+        assert findings and findings[0]["metric"] == "baseline-entry"
+
+    def test_entry_shape(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        entry = baseline_entry(trace)
+        assert set(entry) >= {"machine", "total_s", "phases"}
+        assert entry["phases"].keys() == trace["phases"].keys()
+
+    def test_trace_before_baseline_rejected(self):
+        trace = traced_coarsening()["trace"].to_dict()
+        with pytest.raises(ValueError):
+            diff(trace, collect_baseline([trace]))
+
+
+class TestCLI:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        return str(traced_coarsening()["trace"].save(tmp_path / "a.trace.json"))
+
+    def test_view_modes(self, trace_file, capsys):
+        for mode in ("span", "phase", "level"):
+            assert trace_cli(["view", trace_file, "--by", mode]) == 0
+            out = capsys.readouterr().out
+            assert "OOM" not in out
+
+    def test_view_csv(self, trace_file, capsys):
+        assert trace_cli(["view", trace_file, "--by", "phase", "--csv"]) == 0
+        assert capsys.readouterr().out.startswith("phase,")
+
+    def test_diff_exit_codes(self, trace_file, tmp_path, capsys):
+        assert trace_cli(["diff", trace_file, trace_file]) == 0
+        drifted = load_trace(trace_file)
+        drifted["total_s"] *= 2
+        bad = tmp_path / "b.trace.json"
+        bad.write_text(json.dumps(drifted))
+        assert trace_cli(["diff", trace_file, str(bad)]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+        assert trace_cli(["diff", trace_file, str(tmp_path / "missing.json")]) == 2
+
+    def test_export(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert trace_cli(["export", trace_file, "-o", str(out)]) == 0
+        chrome = json.loads(out.read_text())
+        assert chrome["traceEvents"]
