@@ -25,6 +25,7 @@ from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
 from ..parallel.primitives import segment_max_index
+from ..parallel.wavekernels import group_ranks
 from ..types import UNMAPPED, VI
 from .base import CoarseMapping, register_coarsener
 from .mapping import pointer_jump, relabel
@@ -126,11 +127,7 @@ def gosh_coarsen(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
             tie = space.rng.integers(0, 1 << 30, size=len(j))
             order = np.lexsort((tie, own))
             own_sorted = own[order]
-            first = np.empty(len(j), dtype=bool)
-            first[0] = True
-            first[1:] = own_sorted[1:] != own_sorted[:-1]
-            group_start = np.maximum.accumulate(np.where(first, np.arange(len(j)), 0))
-            rank = np.arange(len(j)) - group_start
+            rank = group_ranks(own_sorted)
             # hub winners absorb proportionally to their degree so stars
             # contract in O(1) rounds; ordinary clusters stay small
             cap = np.maximum(_ABSORB_CAP, deg[own_sorted] // 8)

@@ -30,6 +30,7 @@ from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
 from ..parallel.primitives import gen_perm, segment_max_index
+from ..parallel.wavekernels import ClaimState
 from ..types import UNMAPPED, VI
 from .base import CoarseMapping, register_coarsener
 
@@ -37,6 +38,7 @@ __all__ = [
     "heavy_neighbors",
     "hec_serial",
     "hec_parallel",
+    "hec_parallel_reference",
     "classify_heavy_edges",
 ]
 
@@ -50,7 +52,7 @@ def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "m
     greater comparison in the sequential pseudocode (Algorithm 3, line
     8).  Vertices with no neighbours get ``H[u] = -1``.
     """
-    idx = segment_max_index(None, g.ewgts, g.xadj)
+    idx = segment_max_index(None, g.ewgts, g.xadj, lengths=g.degrees())
     h = np.where(idx >= 0, g.adjncy[np.clip(idx, 0, None)], UNMAPPED)
     if space is not None:
         # One coalesced sweep over adjncy + ewgts, one write of H.  The
@@ -58,7 +60,7 @@ def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "m
         # and serialise extra passes -- the "load balance in adjacency
         # processing steps" effect that puts the kron family below
         # rgg/delaunay in Fig. 3 (right).
-        deg = np.diff(g.xadj).astype(np.float64)
+        deg = g.degrees().astype(np.float64)
         big = deg[deg > 1]
         spill = float((big * np.log2(1.0 + big / 1024.0)).sum()) if len(big) else 0.0
         space.ledger.charge(
@@ -108,11 +110,78 @@ def hec_parallel(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
     neighbour (``CAS(C[v], -1, u)``).  Winning both creates a coarse
     vertex; losing the second either inherits ``M[v]`` — if the write is
     already *visible* — or releases ``C[u]`` and retries next pass.
-    The serialised-atomics / stale-``M`` semantics are described in the
-    module docstring.  No identifier check is needed for mutual heavy
-    pairs here: serialised CAS resolves them to a create at the earlier
-    lane, which is also how hardware escapes the livelock the paper's
-    identifier check guards against.
+    No identifier check is needed for mutual heavy pairs here:
+    serialised CAS resolves them to a create at the earlier lane, which
+    is also how hardware escapes the livelock the paper's identifier
+    check guards against.
+
+    Each wave is resolved in bulk by the vectorized engine
+    (:class:`repro.parallel.wavekernels.ClaimState`); the per-lane loop
+    rendering of the same semantics is kept as
+    :func:`hec_parallel_reference` and the equivalence tests assert the
+    two are bit-identical (mapping, pass counts, ledger charges).
+    """
+    n = g.n
+    perm = gen_perm(n, space)
+    h = heavy_neighbors(g, space)
+
+    st = ClaimState(n)
+    queue = perm
+    passes = 0
+    resolved_per_pass: list[int] = []
+
+    # Isolated vertices (possible on disconnected inputs) become
+    # singleton aggregates up front; Algorithm 3 assumes connectivity.
+    if (h == UNMAPPED).any():
+        st.assign_singletons(np.flatnonzero(h == UNMAPPED))
+        queue = queue[h[queue] >= 0]
+
+    while len(queue):
+        passes += 1
+        if passes > 200:  # pathological-input guard; never hit in practice
+            st.assign_singletons(queue)
+            break
+        resolved = 0
+        atomics = 0
+        for start, stop in space.wave_bounds(len(queue)):
+            u = queue[start:stop]
+            creates, inherits, skips = st.resolve_wave(u, h[u], inherit=True)
+            resolved += 2 * creates + inherits
+            atomics += 2 * (len(u) - skips)  # skipped lanes never CAS
+        lanes = len(queue)
+        space.ledger.charge(
+            "mapping",
+            KernelCost(
+                # per lane: Q/H/C/M indirections land on distinct
+                # sectors (the "irregular memory references" of Sec. III)
+                stream_bytes=4.0 * _B * lanes,
+                random_bytes=32.0 * _B * lanes,
+                atomic_ops=float(atomics),
+                launches=2,  # pass kernel + queue compaction
+            ),
+        )
+        resolved_per_pass.append(resolved)
+        queue = st.unresolved(queue)
+
+    return CoarseMapping(
+        st.m,
+        st.n_c,
+        {
+            "algorithm": "hec",
+            "passes": passes,
+            "resolved_per_pass": resolved_per_pass,
+        },
+    )
+
+
+def hec_parallel_reference(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
+    """Per-lane loop rendering of Algorithm 4 (equivalence reference).
+
+    The original serialized replay: one Python iteration per lane, live
+    claim array, per-entry write stamps.  Kept verbatim as the ground
+    truth the vectorized :func:`hec_parallel` is tested against; the
+    serialised-atomics / stale-``M`` semantics are described in the
+    module docstring.
     """
     n = g.n
     perm = gen_perm(n, space)

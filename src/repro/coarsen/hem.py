@@ -22,11 +22,17 @@ import numpy as np
 from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
-from ..parallel.primitives import gen_perm
+from ..parallel.primitives import gen_perm, segment_max_index
+from ..parallel.wavekernels import ClaimState
 from ..types import UNMAPPED, VI
 from .base import CoarseMapping, register_coarsener
 
-__all__ = ["hem_serial", "hem_parallel", "unmatched_heavy_neighbors"]
+__all__ = [
+    "hem_serial",
+    "hem_parallel",
+    "hem_parallel_reference",
+    "unmatched_heavy_neighbors",
+]
 
 _B = 8
 
@@ -70,17 +76,15 @@ def unmatched_heavy_neighbors(
     total = int(lengths.sum())
     if total:
         lane = np.repeat(np.arange(len(queue), dtype=VI), lengths)
-        offs = np.zeros(len(queue), dtype=VI)
-        np.cumsum(lengths[:-1], out=offs[1:])
-        idx = np.arange(total, dtype=VI) - offs[lane] + starts[lane]
+        lane_xadj = np.zeros(len(queue) + 1, dtype=VI)
+        np.cumsum(lengths, out=lane_xadj[1:])
+        idx = np.arange(total, dtype=VI) - lane_xadj[lane] + starts[lane]
         nbr = g.adjncy[idx]
         wt = np.where(m[nbr] == UNMAPPED, g.ewgts[idx], -np.inf)
         # per-lane argmax (first maximum, as in the strictly-greater scan)
-        order = np.lexsort((np.arange(total), -wt, lane))
-        first = np.zeros(len(queue), dtype=VI)
-        np.cumsum(lengths[:-1], out=first[1:])
-        best = order[first]
-        ok = np.isfinite(wt[best])
+        best = segment_max_index(None, wt, lane_xadj)
+        ok = best >= 0
+        ok[ok] &= np.isfinite(wt[best[ok]])
         h[ok] = nbr[best[ok]]
     space.ledger.charge(
         phase,
@@ -99,9 +103,56 @@ def hem_parallel(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
 
     Modeled after Algorithm 4 with the matching-specific differences
     (Section III-A.2): candidates come from the unmatched vertices only
-    and are refreshed before each pass; a lost claim is always released.
-    Vertices with no unmatched neighbour at pass start become singletons,
-    exactly as in the sequential algorithm.
+    and are refreshed before each pass; a lost claim is always released
+    (``inherit=False`` in the wave engine — the claim array *is* the
+    matching, so there is nothing to inherit).  Vertices with no
+    unmatched neighbour at pass start become singletons, exactly as in
+    the sequential algorithm.  The per-lane loop rendering is kept as
+    :func:`hem_parallel_reference` for the equivalence tests.
+    """
+    n = g.n
+    perm = gen_perm(n, space)
+    st = ClaimState(n)
+    queue = perm
+    passes = 0
+
+    while len(queue):
+        passes += 1
+        h = unmatched_heavy_neighbors(g, st.m, queue, space)
+
+        # Singletons: no unmatched candidate (Alg. 2: w stays 0).
+        lone = h == UNMAPPED
+        if lone.any():
+            st.assign_singletons(queue[lone])
+            queue, h = queue[~lone], h[~lone]
+
+        if passes > 100:  # pathological guard: all remaining to singletons
+            st.assign_singletons(queue)
+            break
+
+        # HEM has no wave structure: every pass serialises the whole
+        # queue against live claims, i.e. one wave spanning all lanes.
+        creates, _, skips = st.resolve_wave(queue, h, inherit=False)
+        lanes = len(queue)
+        space.ledger.charge(
+            "mapping",
+            KernelCost(
+                stream_bytes=4.0 * _B * lanes,
+                random_bytes=4.0 * _B * lanes,
+                atomic_ops=float(2 * (lanes - skips)),
+                launches=2,
+            ),
+        )
+        queue = st.unresolved(queue)
+
+    return CoarseMapping(st.m, st.n_c, {"algorithm": "hem", "passes": passes})
+
+
+def hem_parallel_reference(g: CSRGraph, space: ExecSpace) -> CoarseMapping:
+    """Per-lane loop rendering of parallel HEM (equivalence reference).
+
+    The original serialized replay kept verbatim as the ground truth the
+    vectorized :func:`hem_parallel` is tested against.
     """
     n = g.n
     perm = gen_perm(n, space)

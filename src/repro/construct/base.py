@@ -19,6 +19,7 @@ from ..coarsen.base import CoarseMapping
 from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
+from ..parallel.primitives import stable_key_sort
 from ..types import VI, WT
 
 __all__ = [
@@ -70,17 +71,33 @@ def available_constructors() -> list[str]:
 
 
 def mapped_cross_edges(
-    g: CSRGraph, mapping: CoarseMapping, space: ExecSpace, phase: str = "construction"
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    g: CSRGraph,
+    mapping: CoarseMapping,
+    space: ExecSpace,
+    phase: str = "construction",
+    with_endpoints: bool | str = True,
+    with_weights: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
     """Map all directed edges to coarse space and drop intra-aggregate ones.
 
     Returns ``(mu, mv, w, u, v)`` for the surviving directed entries.
     This is the common first sweep of every strategy (Algorithm 6 lines
-    2-5 read the fine CSR once and gather ``M`` per endpoint).
+    2-5 read the fine CSR once and gather ``M`` per endpoint).  Callers
+    that never look at the fine endpoints (every non-skew dedup path)
+    pass ``with_endpoints=False`` and get ``None`` for ``u``/``v``,
+    skipping two full edge-array materialisations; callers that merge
+    unit weights by counting runs pass ``with_weights=False`` likewise.
+    Callers that only need the endpoints for the keep-side tie-break
+    pass ``with_endpoints="tie"`` and get ``(u < v, None)`` in the
+    ``u``/``v`` slots — one bool per entry instead of two id arrays.
     """
-    u, v, w = g.to_coo()
-    mu = mapping.m[u]
-    mv = mapping.m[v]
+    counts = g.degrees()
+    m = mapping.m
+    idx_t = np.int32 if g.n < (1 << 31) else VI
+    if idx_t is np.int32:
+        m = m.astype(np.int32)  # halves the bandwidth of the edge-wise gathers
+    mu = np.repeat(m, counts)  # == m[edge_sources()], one gather per row
+    mv = m[g.adjncy]
     cross = mu != mv
     space.ledger.charge(
         phase,
@@ -90,15 +107,21 @@ def mapped_cross_edges(
             launches=1,
         ),
     )
-    return mu[cross], mv[cross], w[cross], u[cross], v[cross]
+    w = g.ewgts[cross] if with_weights else None
+    if with_endpoints == "tie":
+        return mu[cross], mv[cross], w, g.tie_mask()[cross], None
+    if with_endpoints:
+        u = np.repeat(np.arange(g.n, dtype=idx_t), counts)
+        return mu[cross], mv[cross], w, u[cross], g.adjncy[cross]
+    return mu[cross], mv[cross], w, None, None
 
 
 def coarse_vertex_weights(
     g: CSRGraph, mapping: CoarseMapping, space: ExecSpace, phase: str = "construction"
 ) -> np.ndarray:
     """Aggregate fine vertex weights into coarse vertex weights."""
-    out = np.zeros(mapping.n_c, dtype=WT)
-    np.add.at(out, mapping.m, g.vwgts)
+    # bincount accumulates in array order, exactly like the scatter-add
+    out = np.bincount(mapping.m, weights=g.vwgts, minlength=mapping.n_c).astype(WT, copy=False)
     space.ledger.charge(
         phase,
         KernelCost(
@@ -118,6 +141,7 @@ def finalize_csr(
     w: np.ndarray,
     vwgts: np.ndarray,
     name: str = "",
+    canonical: bool = False,
 ) -> CSRGraph:
     """Assemble a CSRGraph from deduplicated directed entries.
 
@@ -128,20 +152,23 @@ def finalize_csr(
     ties, fine edges of the same coarse pair can split across both
     orientations, so the transpose pass reintroduces a few duplicates
     (the construction kernels charge the merge as part of their
-    transpose sweeps).
+    transpose sweeps).  Callers whose entries are already sorted by
+    ``(cu, cv)`` with no duplicates pass ``canonical=True`` to skip the
+    sort-and-merge (on sorted dedup'd input it is the identity).
     """
-    order = np.lexsort((cv, cu))
-    cu, cv, w = cu[order], cv[order], w[order]
-    if len(cu):
-        new_run = np.empty(len(cu), dtype=bool)
-        new_run[0] = True
-        new_run[1:] = (cu[1:] != cu[:-1]) | (cv[1:] != cv[:-1])
-        if not new_run.all():
-            run_ids = np.cumsum(new_run) - 1
-            wsum = np.zeros(int(run_ids[-1]) + 1, dtype=WT)
-            np.add.at(wsum, run_ids, w)
-            first = np.flatnonzero(new_run)
-            cu, cv, w = cu[first], cv[first], wsum
+    if not canonical:
+        # single stable sort of the fused key == lexsort((cv, cu)):
+        # both order by (cu, cv) and break ties by position
+        order, key = stable_key_sort(cu * np.int64(n_c) + cv, n_c * n_c)
+        cu, cv, w = cu[order], cv[order], w[order]
+        if len(cu):
+            new_run = np.empty(len(cu), dtype=bool)
+            new_run[0] = True
+            new_run[1:] = key[1:] != key[:-1]
+            if not new_run.all():
+                first = np.flatnonzero(new_run)
+                wsum = np.add.reduceat(w, first).astype(WT, copy=False)
+                cu, cv, w = cu[first], cv[first], wsum
     counts = np.bincount(cu, minlength=n_c).astype(VI)
     xadj = np.zeros(n_c + 1, dtype=VI)
     np.cumsum(counts, out=xadj[1:])

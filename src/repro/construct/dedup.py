@@ -39,7 +39,10 @@ def is_skewed(g) -> bool:
 def degree_estimates(mu: np.ndarray, n_c: int, space: ExecSpace, phase: str = "construction") -> np.ndarray:
     """C' of Algorithm 6 (lines 1-5): per-coarse-vertex cross-degree upper
     bound, counted with atomic increments over the mapped edge sweep."""
-    c_prime = np.bincount(mu, minlength=n_c).astype(VI)
+    # values are bounded by the entry count, so a narrow dtype halves
+    # the bandwidth of the per-edge C' gathers in the keep-side sweep
+    dt = np.int32 if len(mu) < (1 << 31) else VI
+    c_prime = np.bincount(mu, minlength=n_c).astype(dt)
     space.ledger.charge(
         phase,
         KernelCost(
@@ -55,20 +58,27 @@ def degree_estimates(mu: np.ndarray, n_c: int, space: ExecSpace, phase: str = "c
 def keep_lighter_end(
     mu: np.ndarray,
     mv: np.ndarray,
-    u: np.ndarray,
-    v: np.ndarray,
+    u: np.ndarray | None,
+    v: np.ndarray | None,
     c_prime: np.ndarray,
     space: ExecSpace,
     phase: str = "construction",
+    *,
+    tie: np.ndarray | None = None,
 ) -> np.ndarray:
     """The keep-side predicate of Algorithm 6 (lines 9 / 17).
 
     Returns a mask selecting, for each undirected fine edge, exactly one
     of its two directed copies: the one whose source coarse vertex has
     the smaller degree estimate, with fine vertex ids breaking ties.
+    Callers may pass the precomputed ``u < v`` tie-break as ``tie``
+    (from ``mapped_cross_edges(..., with_endpoints="tie")``) instead of
+    the endpoint arrays themselves.
     """
     cu, cv = c_prime[mu], c_prime[mv]
-    keep = (cu < cv) | ((cu == cv) & (u < v))
+    if tie is None:
+        tie = u < v
+    keep = (cu < cv) | ((cu == cv) & tie)
     space.ledger.charge(
         phase,
         KernelCost(

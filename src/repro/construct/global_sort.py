@@ -16,6 +16,7 @@ from ..coarsen.base import CoarseMapping
 from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
+from ..parallel.primitives import stable_key_sort
 from ..types import WT
 from .base import (
     coarse_vertex_weights,
@@ -32,21 +33,20 @@ _B = 8
 @register_constructor("global_sort")
 def construct_global_sort(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSRGraph:
     n_c = mapping.n_c
-    mu, mv, w, _, _ = mapped_cross_edges(g, mapping, space)
+    mu, mv, w, _, _ = mapped_cross_edges(g, mapping, space, with_endpoints=False)
     vwgts = coarse_vertex_weights(g, mapping, space)
 
     total = len(mu)
     with space.span("dedup", strategy="global_sort", skew_opt=False):
-        order = np.lexsort((mv, mu))
+        # one stable radix sort of the fused key == lexsort((mv, mu))
+        order, key = stable_key_sort(mu * np.int64(n_c) + mv, n_c * n_c)
         mu, mv, w = mu[order], mv[order], w[order]
         if total:
             new_run = np.empty(total, dtype=bool)
             new_run[0] = True
-            new_run[1:] = (mu[1:] != mu[:-1]) | (mv[1:] != mv[:-1])
-            run_ids = np.cumsum(new_run) - 1
-            wsum = np.zeros(int(run_ids[-1]) + 1, dtype=WT)
-            np.add.at(wsum, run_ids, w)
+            new_run[1:] = key[1:] != key[:-1]
             first = np.flatnonzero(new_run)
+            wsum = np.add.reduceat(w, first).astype(WT, copy=False)
             mu, mv, w = mu[first], mv[first], wsum
         space.ledger.charge(
             "construction",
@@ -56,4 +56,4 @@ def construct_global_sort(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace)
                 launches=3,
             ),
         )
-    return finalize_csr(n_c, mu, mv, w, vwgts, g.name)
+    return finalize_csr(n_c, mu, mv, w, vwgts, g.name, canonical=True)

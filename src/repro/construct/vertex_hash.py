@@ -81,13 +81,16 @@ def hashed_dedup(
 def construct_hash(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSRGraph:
     """Algorithm 6 with hash-based deduplication."""
     n_c = mapping.n_c
-    mu, mv, w, u, v = mapped_cross_edges(g, mapping, space)
+    skewed = is_skewed(g)
+    mu, mv, w, tie, _ = mapped_cross_edges(
+        g, mapping, space, with_endpoints="tie" if skewed else False
+    )
     vwgts = coarse_vertex_weights(g, mapping, space)
 
-    if is_skewed(g):
+    if skewed:
         with space.span("dedup", strategy="hash", skew_opt=True):
             c_prime = degree_estimates(mu, n_c, space)
-            keep = keep_lighter_end(mu, mv, u, v, c_prime, space)
+            keep = keep_lighter_end(mu, mv, None, None, c_prime, space, tie=tie)
             mu, mv, w = mu[keep], mv[keep], w[keep]
             mu, mv, w = hashed_dedup(mu, mv, w, n_c, space)
         mu, mv = np.concatenate([mu, mv]), np.concatenate([mv, mu])

@@ -17,14 +17,14 @@ from ..coarsen.base import CoarseMapping
 from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
+from ..parallel.primitives import stable_key_sort
 from ..types import VI, WT
 from .base import (
     coarse_vertex_weights,
     finalize_csr,
-    mapped_cross_edges,
     register_constructor,
 )
-from .dedup import degree_estimates, is_skewed, keep_lighter_end
+from .dedup import is_skewed
 
 __all__ = ["construct_sort", "sorted_dedup", "sort_cost_keyops"]
 
@@ -40,41 +40,90 @@ def sort_cost_keyops(bin_sizes: np.ndarray) -> float:
 
 
 def sorted_dedup(
-    mu: np.ndarray, mv: np.ndarray, w: np.ndarray, n_c: int, space: ExecSpace, phase: str = "construction"
+    mu: np.ndarray | None,
+    mv: np.ndarray | None,
+    w: np.ndarray | None,
+    n_c: int,
+    space: ExecSpace,
+    phase: str = "construction",
+    *,
+    packed: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """DEDUPWITHWTS by sorting: bin by ``mu``, sort bins by ``mv``, merge runs.
 
     Returns deduplicated ``(mu, mv, w)`` with weights of parallel coarse
     edges summed.  The NumPy realisation is a single lexsort — the
     *charged* cost is per-bin sorting, which is what the algorithm does.
+    Callers on unit-weight graphs pass ``w=None``: the merged weights
+    are exactly the duplicate counts, so no weight array or sort
+    permutation is needed and the key sorts bare.  Such callers that
+    already hold the power-of-two fused key (built before their own
+    compaction, which is cheaper than packing after it) pass it as
+    ``packed`` with ``mu``/``mv`` as ``None``.
     """
-    bins = np.bincount(mu, minlength=n_c)
+    total = len(packed if packed is not None else mu)
+    if w is None:
+        # power-of-two radix: same (mu, mv) lex order, and the pair
+        # unpacks from the sorted key with a shift and a mask; the key
+        # stays 32-bit when the packed pair fits, halving sort bandwidth
+        shift = max(1, int(n_c - 1).bit_length()) if n_c > 1 else 1
+        if packed is not None:
+            key = packed
+            key_t = key.dtype.type
+        else:
+            key_t = (
+                np.int32
+                if mu.dtype == np.int32 and (n_c << shift) < (1 << 31)
+                else np.int64
+            )
+            key = mu * key_t(1 << shift) + mv
+        key.sort()
+        # the sorted key makes each source's bin contiguous: bin sizes
+        # come from n_c boundary searches instead of a scatter-add
+        bins = np.diff(np.searchsorted(key, np.arange(n_c + 1, dtype=key_t) << shift))
+        if total:
+            new_run = np.empty(total, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = key[1:] != key[:-1]
+            first = np.flatnonzero(new_run)
+            key_d = key[first]
+            mu = key_d >> shift
+            mv = key_d & key_t((1 << shift) - 1)
+            # run lengths ARE the summed unit weights, bit-exactly
+            w = np.diff(np.append(first, total)).astype(WT)
+        else:
+            if packed is not None:
+                mu = mv = np.zeros(0, dtype=VI)  # no pair arrays were passed
+            w = np.zeros(0, dtype=WT)
+    else:
+        # one stable radix sort of the fused (mu, mv) key == lexsort((mv, mu))
+        order, key = stable_key_sort(mu * np.int64(n_c) + mv, n_c * n_c)
+        mu, mv, w = mu[order], mv[order], w[order]
+        bins = np.diff(np.searchsorted(key, np.arange(n_c + 1, dtype=np.int64) * np.int64(n_c)))
+        if total:
+            new_run = np.empty(total, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = key[1:] != key[:-1]
+            first = np.flatnonzero(new_run)
+            # reduceat sums each equal-key run left to right — bitwise-equal
+            # to the sequential scatter-add merge sweep
+            wsum = np.add.reduceat(w, first).astype(WT, copy=False)
+            mu, mv, w = mu[first], mv[first], wsum
     # team-serialisation penalty: a bin is sorted by one team, in shared
     # memory while it fits; oversized bins (hub coarse vertices on
     # skewed graphs) spill to device memory and serialise — the effect
     # the degree-based keep-side sweep exists to prevent (25.7x on
-    # kron21, Section IV-A)
-    big = bins[bins > 1].astype(np.float64)
-    # a team's shared memory holds ~4k key-value pairs; bitonic networks
-    # do log^2 passes, so a spilled sort pays several extra global sweeps
+    # kron21, Section IV-A).  A team's shared memory holds ~4k key-value
+    # pairs; bitonic networks do log^2 passes, so a spilled sort pays
+    # several extra global sweeps.
+    big = bins[bins > 1]
     spill = 4.0 * float((big * np.log2(1.0 + big / 4096.0)).sum()) if len(big) else 0.0
-    order = np.lexsort((mv, mu))
-    mu, mv, w = mu[order], mv[order], w[order]
-    if len(mu):
-        new_run = np.empty(len(mu), dtype=bool)
-        new_run[0] = True
-        new_run[1:] = (mu[1:] != mu[:-1]) | (mv[1:] != mv[:-1])
-        run_ids = np.cumsum(new_run) - 1
-        wsum = np.zeros(int(run_ids[-1]) + 1, dtype=WT)
-        np.add.at(wsum, run_ids, w)
-        first = np.flatnonzero(new_run)
-        mu, mv, w = mu[first], mv[first], wsum
     space.ledger.charge(
         phase,
         KernelCost(
             # binning scatter (F/X writes) + dedup sweep + compaction
-            stream_bytes=4.0 * _B * len(order) if len(order) else 0.0,
-            random_bytes=2.0 * _B * len(order) if len(order) else 0.0,
+            stream_bytes=4.0 * _B * total if total else 0.0,
+            random_bytes=2.0 * _B * total if total else 0.0,
             sort_key_ops=sort_cost_keyops(bins),
             spill_ops=spill,
             launches=3,
@@ -85,34 +134,192 @@ def sorted_dedup(
 
 @register_constructor("sort")
 def construct_sort(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSRGraph:
-    """Algorithm 6 with sort-based deduplication (the paper's default)."""
+    """Algorithm 6 with sort-based deduplication (the paper's default).
+
+    The skewed-degree path fuses the map sweep with the keep-side
+    predicate: the mapped pair, the degree estimates and the keep mask
+    are all evaluated on the full directed-edge arrays, and the single
+    compaction goes straight from 2m entries to the kept half.  Bit-
+    and charge-identical to ``mapped_cross_edges`` →
+    ``degree_estimates`` → ``keep_lighter_end`` → ``sorted_dedup`` on
+    the intermediate cross-edge arrays, which are never materialised.
+    """
+    if not is_skewed(g):
+        return _construct_sort_regular(g, mapping, space)
+
     n_c = mapping.n_c
-    mu, mv, w, u, v = mapped_cross_edges(g, mapping, space)
+    unit_w = g.has_unit_ewgts()
+    m = mapping.m
+    if g.n < (1 << 31):
+        m = m.astype(np.int32)  # halves the bandwidth of the edge-wise gathers
+    mu = np.repeat(m, g.degrees())
+    mv = m[g.adjncy]
+    cross = mu != mv
+    space.ledger.charge(
+        "construction",
+        KernelCost(
+            stream_bytes=3.0 * _B * g.m_directed + 2.0 * _B * g.n,
+            random_bytes=_B * g.m_directed,
+            launches=1,
+        ),
+    )
     vwgts = coarse_vertex_weights(g, mapping, space)
 
-    if is_skewed(g):
-        with space.span("dedup", strategy="sort", skew_opt=True):
-            c_prime = degree_estimates(mu, n_c, space)
-            keep = keep_lighter_end(mu, mv, u, v, c_prime, space)
-            mu, mv, w = mu[keep], mv[keep], w[keep]
-            mu, mv, w = sorted_dedup(mu, mv, w, n_c, space)
-        # GraphConsWithTrans: emit the <v, u> reverses and rebuild rows
-        mu, mv = np.concatenate([mu, mv]), np.concatenate([mv, mu])
-        w = np.concatenate([w, w])
+    with space.span("dedup", strategy="sort", skew_opt=True):
+        c = int(np.count_nonzero(cross))
+        # C' of Algorithm 6 without compacting: the bool-weighted
+        # bincount counts exactly the cross entries per source
+        dt = np.int32 if c < (1 << 31) else VI
+        c_prime = np.bincount(mu, weights=cross, minlength=n_c).astype(dt)
         space.ledger.charge(
             "construction",
             KernelCost(
-                stream_bytes=6.0 * _B * len(mu),
-                random_bytes=2.0 * _B * len(mu),  # scatter into rows
-                atomic_ops=float(len(mu)) / 2.0,  # per-row slot counters
-                launches=2,
+                stream_bytes=_B * c + _B * n_c,
+                random_bytes=_B * c,
+                atomic_ops=float(c),
+                launches=1,
             ),
         )
-    else:
-        with space.span("dedup", strategy="sort", skew_opt=False):
-            mu, mv, w = sorted_dedup(mu, mv, w, n_c, space)
+        # keep-side predicate on the full arrays (charge-identical to
+        # keep_lighter_end over the c cross entries).  The estimates are
+        # gathered through the fine-vertex table: ``c_prime[mu]`` is a
+        # repeat of the per-fine-vertex values and ``c_prime[mv]`` is an
+        # int64-indexed gather — both far cheaper than indexing with the
+        # 32-bit ``mu``/``mv`` arrays, which NumPy would first convert.
+        cp_fine = c_prime[mapping.m]
+        cu_est = np.repeat(cp_fine, g.degrees())
+        cv_est = cp_fine[g.adjncy]
+        keep = cross & ((cu_est < cv_est) | ((cu_est == cv_est) & g.tie_mask()))
         space.ledger.charge(
             "construction",
-            KernelCost(stream_bytes=4.0 * _B * len(mu), launches=1),
+            KernelCost(
+                stream_bytes=3.0 * _B * c,
+                random_bytes=2.0 * _B * c,
+                launches=1,
+            ),
         )
+        if unit_w:
+            # pack the fused key on the full arrays and compress once —
+            # the kept pair is never materialised before dedup
+            shift = max(1, int(n_c - 1).bit_length()) if n_c > 1 else 1
+            key_t = (
+                np.int32
+                if mu.dtype == np.int32 and (n_c << shift) < (1 << 31)
+                else np.int64
+            )
+            packed = (mu * key_t(1 << shift) + mv)[keep]
+            mu, mv, w = sorted_dedup(None, None, None, n_c, space, packed=packed)
+        else:
+            mu, mv, w = sorted_dedup(mu[keep], mv[keep], g.ewgts[keep], n_c, space)
+    # GraphConsWithTrans: emit the <v, u> reverses and rebuild rows
+    mu, mv = np.concatenate([mu, mv]), np.concatenate([mv, mu])
+    w = np.concatenate([w, w])
+    space.ledger.charge(
+        "construction",
+        KernelCost(
+            stream_bytes=6.0 * _B * len(mu),
+            random_bytes=2.0 * _B * len(mu),  # scatter into rows
+            atomic_ops=float(len(mu)) / 2.0,  # per-row slot counters
+            launches=2,
+        ),
+    )
     return finalize_csr(n_c, mu, mv, w, vwgts, g.name)
+
+
+def _construct_sort_regular(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSRGraph:
+    """Fused regular-degree path: map, dedup and assemble in one pipeline.
+
+    Bit- and charge-identical to ``mapped_cross_edges`` → ``sorted_dedup``
+    → ``finalize_csr``, but only the fused ``(mu, mv)`` key and the
+    weights are ever materialised: fine endpoints are never built (the
+    keep-side predicate only runs on skewed inputs), the coarse id pair
+    is carried as one radix-sortable word, and the final CSR comes
+    straight from the sorted key runs.
+    """
+    n_c = mapping.n_c
+    m = mapping.m
+    if g.n < (1 << 31):
+        m = m.astype(np.int32)  # halves the bandwidth of the edge-wise gathers
+    mu = np.repeat(m, g.degrees())
+    mv = m[g.adjncy]
+    cross = mu != mv
+    space.ledger.charge(
+        "construction",
+        KernelCost(
+            stream_bytes=3.0 * _B * g.m_directed + 2.0 * _B * g.n,
+            random_bytes=_B * g.m_directed,
+            launches=1,
+        ),
+    )
+    # compress the narrow id pair first, fuse the sort key only for the
+    # surviving cross edges.  The radix is the next power of two above
+    # n_c so the pair unpacks with a shift and a mask instead of an
+    # integer division; the sort order is the same (mu, mv) lex order.
+    shift = max(1, int(n_c - 1).bit_length()) if n_c > 1 else 1
+    # unit-weight fine graphs (every level-0 input): merged weights are
+    # exactly the duplicate counts, so neither the weight array nor the
+    # sort permutation is ever needed — the key sorts bare.  Those bare
+    # keys stay 32-bit whenever the packed pair fits, halving the sort
+    # and scan bandwidth (weighted keys feed the stable packed-int64
+    # sort and must stay wide).
+    unit_w = g.has_unit_ewgts()
+    key_t = (
+        np.int32
+        if unit_w and mu.dtype == np.int32 and (n_c << shift) < (1 << 31)
+        else np.int64
+    )
+    # fuse over the full arrays, then compress once: one boolean-mask
+    # pass instead of two
+    key = (mu * key_t(1 << shift) + mv)[cross]
+    w = None if unit_w else g.ewgts[cross]
+    vwgts = coarse_vertex_weights(g, mapping, space)
+
+    c = len(key)
+    with space.span("dedup", strategy="sort", skew_opt=False):
+        if unit_w:
+            key.sort()
+            key_s = key
+        else:
+            order, key_s = stable_key_sort(key, n_c << shift)
+        if c:
+            new_run = np.empty(c, dtype=bool)
+            new_run[0] = True
+            new_run[1:] = key_s[1:] != key_s[:-1]
+            first = np.flatnonzero(new_run)
+            pair_counts = np.diff(np.append(first, c)).astype(np.float64)
+            if unit_w:
+                # run lengths ARE the summed unit weights, bit-exactly
+                w_d = pair_counts
+            else:
+                w_d = np.add.reduceat(w[order], first).astype(WT, copy=False)
+            key_d = key_s[first]
+            cv = key_d & key_t((1 << shift) - 1)
+        else:
+            key_d = cv = np.zeros(0, dtype=VI)
+            w_d = np.zeros(0, dtype=WT)
+        # per-source-bin sizes of the *pre-dedup* cross edges, for the
+        # sort/spill pricing.  The sorted key makes each source's run
+        # contiguous, so the bins fall out of n_c binary searches for
+        # the row boundaries instead of a scatter-add over all entries.
+        row_bounds = np.arange(n_c + 1, dtype=key_t) << shift
+        bins = np.diff(np.searchsorted(key_s, row_bounds))
+        big = bins[bins > 1]
+        spill = 4.0 * float((big * np.log2(1.0 + big / 4096.0)).sum()) if len(big) else 0.0
+        space.ledger.charge(
+            "construction",
+            KernelCost(
+                stream_bytes=4.0 * _B * c,
+                random_bytes=2.0 * _B * c,
+                sort_key_ops=sort_cost_keyops(bins),
+                spill_ops=spill,
+                launches=3,
+            ),
+        )
+    space.ledger.charge(
+        "construction",
+        KernelCost(stream_bytes=4.0 * _B * len(cv), launches=1),
+    )
+    # rows are contiguous in the dedup'd keys too: the same boundary
+    # searches yield the CSR row pointer directly
+    xadj = np.searchsorted(key_d, row_bounds).astype(VI)
+    return CSRGraph(xadj, cv, w_d, vwgts, g.name)

@@ -100,14 +100,47 @@ class CSRGraph:
     # -- whole-graph derived quantities ---------------------------------------
 
     def degrees(self) -> np.ndarray:
-        """All vertex degrees as a :data:`VI` array."""
-        return np.diff(self.xadj)
+        """All vertex degrees as a :data:`VI` array (computed once)."""
+        cached = self.__dict__.get("_degrees")
+        if cached is None:
+            cached = np.diff(self.xadj)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_degrees", cached)
+        return cached
+
+    def has_unit_ewgts(self) -> bool:
+        """True when every edge weight is exactly 1.0 (computed once).
+
+        Input graphs are unweighted; the flag lets kernels replace
+        weight merges with run counts on the dominant level-0 volume.
+        """
+        cached = self.__dict__.get("_unit_ewgts")
+        if cached is None:
+            cached = bool(np.all(self.ewgts == 1.0))
+            object.__setattr__(self, "_unit_ewgts", cached)
+        return cached
+
+    def tie_mask(self) -> np.ndarray:
+        """``u < v`` per stored adjacency entry (computed once).
+
+        A pure graph property — the upper-triangle selector of the
+        symmetric storage — used as the tie-break of the keep-side
+        dedup predicate.
+        """
+        cached = self.__dict__.get("_tie_mask")
+        if cached is None:
+            idx_t = np.int32 if self.n < (1 << 31) else VI
+            src = np.repeat(np.arange(self.n, dtype=idx_t), self.degrees())
+            cached = src < self.adjncy
+            cached.setflags(write=False)
+            object.__setattr__(self, "_tie_mask", cached)
+        return cached
 
     def weighted_degrees(self) -> np.ndarray:
         """Sum of incident edge weights per vertex."""
-        out = np.zeros(self.n, dtype=WT)
-        np.add.at(out, self.edge_sources(), self.ewgts)
-        return out
+        return np.bincount(
+            self.edge_sources(), weights=self.ewgts, minlength=self.n
+        ).astype(WT, copy=False)
 
     def edge_sources(self) -> np.ndarray:
         """Source vertex of every stored adjacency entry (COO row index).
@@ -115,11 +148,11 @@ class CSRGraph:
         ``edge_sources()[k]`` is the ``u`` such that ``adjncy[k]`` lies in
         ``u``'s adjacency array.  Computed on demand; O(2m).
         """
-        return np.repeat(np.arange(self.n, dtype=VI), np.diff(self.xadj))
+        return np.repeat(np.arange(self.n, dtype=VI), self.degrees())
 
     def max_degree(self) -> int:
         """Maximum vertex degree Δ."""
-        return int(np.diff(self.xadj).max(initial=0))
+        return int(self.degrees().max(initial=0))
 
     def avg_degree(self) -> float:
         """Average degree ``2 m / n``."""

@@ -76,8 +76,16 @@ class KernelCost:
         )
 
     def __iadd__(self, other: "KernelCost") -> "KernelCost":
-        for f in _COUNTERS:
-            setattr(self, f, getattr(self, f) + getattr(other, f))
+        # unrolled: this runs once per charge on every kernel hot path
+        self.stream_bytes += other.stream_bytes
+        self.random_bytes += other.random_bytes
+        self.atomic_ops += other.atomic_ops
+        self.sort_key_ops += other.sort_key_ops
+        self.hash_ops += other.hash_ops
+        self.spill_ops += other.spill_ops
+        self.launches += other.launches
+        self.flops += other.flops
+        self.transfer_bytes += other.transfer_bytes
         return self
 
     def scaled(self, factor: float) -> "KernelCost":

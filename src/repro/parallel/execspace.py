@@ -58,6 +58,16 @@ class ExecSpace:
         for start in range(0, total, w):
             yield start, min(start + w, total)
 
+    def wave_bounds(self, total: int) -> np.ndarray:
+        """All wave bounds at once as an ``(n_waves, 2)`` array.
+
+        Same bounds as :meth:`waves` without the generator overhead —
+        the vectorized wave kernels iterate this directly.
+        """
+        from .wavekernels import wave_bounds
+
+        return wave_bounds(total, self.concurrency)
+
     def span(self, name: str, **labels):
         """Open a named trace span (Kokkos ``pushRegion`` analogue).
 

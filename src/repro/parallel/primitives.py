@@ -14,12 +14,15 @@ import numpy as np
 from ..types import VI
 from .cost import KernelCost
 from .execspace import ExecSpace
+from .wavekernels import run_starts
 
 __all__ = [
     "exclusive_prefix_sum",
     "gen_perm",
     "segment_sum",
     "segment_max_index",
+    "stable_key_sort",
+    "stable_key_argsort",
     "compact_nonnegative",
 ]
 
@@ -80,7 +83,9 @@ def segment_sum(values: np.ndarray, segment_ids: np.ndarray, n_segments: int, sp
     return out
 
 
-def segment_max_index(keys: np.ndarray, values: np.ndarray, xadj: np.ndarray) -> np.ndarray:
+def segment_max_index(
+    keys: np.ndarray, values: np.ndarray, xadj: np.ndarray, lengths: np.ndarray | None = None
+) -> np.ndarray:
     """Per-segment argmax used to find heaviest neighbours.
 
     ``xadj`` delimits segments within ``values``.  Returns for each
@@ -92,23 +97,63 @@ def segment_max_index(keys: np.ndarray, values: np.ndarray, xadj: np.ndarray) ->
     """
     n = len(xadj) - 1
     out = np.full(n, -1, dtype=VI)
-    lengths = np.diff(xadj)
+    if lengths is None:
+        lengths = np.diff(xadj)
     nonempty = np.flatnonzero(lengths > 0)
     if len(nonempty) == 0:
         return out
     # reduceat computes per-segment max; a second pass finds the first
     # position attaining it.  Both passes are vectorised.
     starts = xadj[nonempty]
+    # constant-weight fast path: every entry attains the segment max, so
+    # the first hit is the segment start.  Level-0 graphs carry unit
+    # edge weights, which makes this the dominant case by volume.
+    if len(values) and bool(np.all(values == values[0])):
+        out[nonempty] = starts
+        return out
     seg_max = np.maximum.reduceat(values, starts)
-    # Build per-entry segment id, compare against its segment max.
-    seg_of = np.repeat(np.arange(n, dtype=VI), lengths)
-    hit = values == seg_max[np.searchsorted(nonempty, seg_of)]
-    pos = np.flatnonzero(hit)
-    # keep the first hit per segment
-    seg_hit = seg_of[pos]
-    _, first = np.unique(seg_hit, return_index=True)
-    out[seg_hit[first]] = pos[first]
+    # Per-entry rank into the nonempty-segment list (empty segments hold
+    # no entries, so the repeat is aligned with ``values``).  Ranks stay
+    # at the native index width: narrower index arrays make NumPy
+    # convert them before the 2m-wide gather, costing more than the
+    # bandwidth they save.
+    seg_rank = np.repeat(np.arange(len(nonempty), dtype=np.int64), lengths[nonempty])
+    pos = np.flatnonzero(values == seg_max[seg_rank])
+    # keep the first hit per segment: hit ranks are non-decreasing, so
+    # run heads are exactly the per-segment first maxima
+    sr = seg_rank[pos]
+    first = run_starts(sr)
+    out[nonempty[sr[first]]] = pos[first]
     return out
+
+
+def stable_key_sort(key: np.ndarray, key_bound: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(order, key[order])`` for a stable ascending sort of ``key``.
+
+    ``order`` is identical to ``np.argsort(key, kind="stable")`` — and
+    hence to ``np.lexsort`` over the unfused key columns.  When the key
+    width (``key < key_bound``) plus the index width fit one machine
+    word, the (key, index) pair is packed into a single int64 and sorted
+    scalar, which takes NumPy's radix path — several times faster than
+    the comparison-based stable argsort the fallback uses — and the
+    sorted keys fall out of the unpack without a gather.
+    """
+    n = len(key)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), key[:0]
+    idx_bits = max(1, (n - 1).bit_length())
+    key_bits = max(1, int(key_bound - 1).bit_length()) if key_bound > 1 else 1
+    if idx_bits + key_bits <= 63:
+        packed = (key << np.int64(idx_bits)) + np.arange(n, dtype=np.int64)
+        packed.sort()
+        return packed & np.int64((1 << idx_bits) - 1), packed >> np.int64(idx_bits)
+    order = np.argsort(key, kind="stable")
+    return order, key[order]
+
+
+def stable_key_argsort(key: np.ndarray, key_bound: int) -> np.ndarray:
+    """The permutation half of :func:`stable_key_sort`."""
+    return stable_key_sort(key, key_bound)[0]
 
 
 def compact_nonnegative(arr: np.ndarray, space: ExecSpace | None = None, phase: str = "mapping") -> np.ndarray:

@@ -1,0 +1,343 @@
+"""Vectorized wave-kernel engine for the BSP concurrency simulation.
+
+The relaxed-order mapping kernels (HEC Algorithm 4, HEM Algorithm 10 and
+friends) race lanes on a claim array through serialized CAS; our
+simulation executes them in *waves* of ``machine.concurrency`` lanes
+(see :mod:`repro.parallel.execspace`).  The original rendering replayed
+each lane with a Python loop — faithful, but the interpreter spent more
+wall-clock on lane bookkeeping than NumPy spent on every streamed pass
+combined.  This module resolves an **entire wave at once** with array
+operations while reproducing the serialized semantics bit-for-bit:
+
+serialized CAS
+    Atomics serialise in lane order, so "who wins a claim" is a stable
+    first-occurrence question.  Claims are scattered with
+    :func:`scatter_first_wins` (a reversed fancy-index assignment: the
+    earliest lane's write survives), and the create/inherit/release
+    decision is driven to a fixpoint over *turn numbers* — a lane
+    decides as soon as every earlier lane that could still claim one of
+    its endpoints has decided.  Each round decides at least the
+    earliest undecided lane, so the fixpoint terminates in at most
+    ``wave`` rounds (2-3 in practice on randomised queues).
+
+snapshot visibility
+    Bulk reads of the mapping array ``M`` observe a snapshot taken at
+    wave start: every write carries a per-entry wave stamp, and a read
+    in wave ``w`` sees ``M[x]`` only when ``wstamp[x] < w``.  ``M`` is
+    write-once per vertex, so the snapshot needs no copy — visibility
+    is one vectorized stamp comparison per wave.
+
+The engine state lives in :class:`ClaimState`; kernels drive it with
+:meth:`ClaimState.resolve_wave` (batched claim/create/inherit/release)
+plus the batched helpers (:meth:`ClaimState.assign_singletons`,
+:meth:`ClaimState.unresolved`).  The demoted Python-loop kernels are
+kept as ``*_reference`` implementations in :mod:`repro.coarsen.hec` /
+:mod:`repro.coarsen.hem`; the equivalence test suite asserts the two
+produce bit-identical mappings, pass counts, and ledger charges for
+every (graph, machine, seed, wave size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import UNMAPPED, VI
+
+__all__ = [
+    "SKIP",
+    "CREATE",
+    "INHERIT",
+    "RELEASE",
+    "wave_bounds",
+    "scatter_first_wins",
+    "run_starts",
+    "group_ranks",
+    "ClaimState",
+]
+
+#: lane outcome codes produced by :meth:`ClaimState.resolve_wave`
+SKIP, CREATE, INHERIT, RELEASE = np.int8(1), np.int8(2), np.int8(3), np.int8(4)
+
+#: turn numbers fit int32 (a wave has at most ``concurrency`` lanes and
+#: wave counters stay far below 2**31); narrow scratch halves the
+#: bandwidth of the fixpoint's gathers and scatters
+_TURN = np.int32
+_INF = np.iinfo(np.int32).max
+
+
+def wave_bounds(total: int, width: int) -> np.ndarray:
+    """All ``(start, stop)`` wave bounds covering ``range(total)`` at once.
+
+    Array-returning counterpart of :meth:`ExecSpace.waves`: kernels that
+    consume every bound immediately iterate this ``(n_waves, 2)`` array
+    instead of a Python generator.
+    """
+    w = max(1, int(width))
+    starts = np.arange(0, max(int(total), 0), w, dtype=VI)
+    bounds = np.empty((len(starts), 2), dtype=VI)
+    bounds[:, 0] = starts
+    bounds[:, 1] = np.minimum(starts + w, total)
+    return bounds
+
+
+def scatter_first_wins(dest: np.ndarray, index: np.ndarray, values: np.ndarray) -> None:
+    """``dest[index] = values`` where the *first* occurrence of a duplicate
+    index wins — the serialization order of a wave of CAS operations.
+
+    Implemented as a reversed fancy-index assignment (the last write in
+    C order is the first in lane order), so it runs at memcpy speed
+    instead of a per-element loop.
+    """
+    dest[index[::-1]] = values[::-1]
+
+
+def run_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Boolean mask marking the first entry of each equal-key run."""
+    mask = np.empty(len(sorted_keys), dtype=bool)
+    if len(mask):
+        mask[0] = True
+        mask[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    return mask
+
+
+def group_ranks(sorted_keys: np.ndarray) -> np.ndarray:
+    """Rank of each entry within its equal-key run (0 for run heads)."""
+    k = len(sorted_keys)
+    if k == 0:
+        return np.zeros(0, dtype=np.int64)
+    first = run_starts(sorted_keys)
+    idx = np.arange(k, dtype=np.int64)
+    group_start = np.maximum.accumulate(np.where(first, idx, 0))
+    return idx - group_start
+
+
+class ClaimState:
+    """Racing state of one mapping kernel: claims, mapping, write stamps.
+
+    Mirrors the three arrays of Algorithm 4 — the claim array ``C``
+    (kept as a boolean, the kernels only test occupancy), the mapping
+    ``M``, and the per-entry wave stamp that models snapshot visibility
+    — plus the coarse-vertex counter and the global wave counter.
+    Scratch turn arrays for the fixpoint are allocated once and reset
+    sparsely (touched entries only) after every wave.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.m = np.full(n, UNMAPPED, dtype=VI)
+        self.claimed = np.zeros(n, dtype=bool)
+        self.wstamp = np.full(n, -1, dtype=_TURN)
+        #: False until the first create/inherit sets a claim bit — lets
+        #: the first wave of a level skip the claimed-state gathers
+        self._any_claimed = False
+        self.n_c = 0
+        self.wave = 0
+        # fixpoint scratch: earliest turn whose decided claim covers x /
+        # earliest undecided turn whose event touches x (_INF when
+        # absent).  Self- and target-events share one array per kind:
+        # lane vertices are unique within a wave (queue slices), so a
+        # lane never confuses another lane's self-event on its own
+        # vertex with a target-event — see :meth:`resolve_wave`.
+        self._claim = np.full(n, _INF, dtype=_TURN)
+        self._pend = np.full(n, _INF, dtype=_TURN)
+
+    # -- batched primitives ---------------------------------------------------
+
+    def assign_singletons(self, vertices: np.ndarray) -> None:
+        """Map each vertex to a fresh coarse id, in array order.
+
+        Batched form of the sequential ``for u: M[u] = n_c; n_c += 1``
+        fallbacks (isolated vertices, pathological-pass guards).  Claims
+        and stamps are untouched, exactly as in the loop references —
+        these vertices are never the target of a racing lane.
+        """
+        k = len(vertices)
+        if k:
+            self.m[vertices] = self.n_c + np.arange(k, dtype=VI)
+            self.n_c += k
+
+    def unresolved(self, queue: np.ndarray) -> np.ndarray:
+        """Queue compaction: the still-unmapped entries of ``queue``."""
+        return queue[self.m[queue] == UNMAPPED]
+
+    # -- the wave resolver ----------------------------------------------------
+
+    def _settle_claimed(self, v: np.ndarray, dc: np.ndarray, inherit: bool) -> np.ndarray:
+        """Settle lanes whose target turned out claimed: INHERIT when the
+        target's mapping is visible at wave start, RELEASE otherwise.
+
+        ``M`` and the write stamps are untouched during the fixpoint, so
+        gathering them here — for just these lanes instead of the whole
+        wave up front — still reads wave-start state.  Returns the
+        INHERIT lane indices; the rest of ``dc`` releases (no state to
+        record — a released lane simply retries next pass).
+        """
+        if not inherit or not len(dc):
+            return dc[:0]
+        vd = v[dc]
+        return dc[(self.m[vd] != UNMAPPED) & (self.wstamp[vd] < self.wave)]
+
+    def resolve_wave(
+        self, u: np.ndarray, v: np.ndarray, *, inherit: bool = True
+    ) -> tuple[int, int, int]:
+        """Resolve one wave of lanes ``u`` claiming targets ``v``.
+
+        Serialized-CAS semantics in lane order: lane ``i`` skips when
+        ``u[i]`` is already claimed at its turn, creates when ``v[i]``
+        is unclaimed (claiming both endpoints), and otherwise inherits
+        ``M[v[i]]`` when the write is visible at wave start (``inherit``
+        kernels only) or releases and retries next pass.  Returns
+        ``(creates, inherits, skips)``; creates are numbered in lane
+        order from the running coarse-vertex counter.
+
+        ``u`` must not repeat within a wave (every caller slices a
+        queue of distinct vertices).  That invariant lets self- and
+        target-events share one pend array and one claim array: an
+        entry of ``pend[u[i]]``/``claim[u[i]]`` written by another lane
+        is necessarily a target-event, and the strict ``< turn``
+        comparisons never see the lane's own writes.
+        """
+        self.wave += 1
+        k = len(u)
+        if k == 0:
+            return 0, 0, 0
+        claim, pend = self._claim, self._pend
+
+        turns = np.arange(k, dtype=_TURN)
+        fresh = not self._any_claimed
+        if fresh:
+            # nothing is claimed anywhere yet (first wave of the level):
+            # both claimed gathers are known-False
+            claimed0_u = claimed0_v = np.zeros(k, dtype=bool)
+        else:
+            claimed0_u = self.claimed[u]
+            claimed0_v = self.claimed[v]
+
+        # pend[x] = earliest undecided turn touching x: first-wins over
+        # the targets (turns ascend, so positional first == min) folded
+        # with each lane's own turn (u unique -> min-assign, no races)
+        scatter_first_wins(pend, v, turns)
+        su = pend[u]  # v-events targeting each lane's own vertex ...
+        pend[u] = np.minimum(su, turns)  # ... folded with its own turn
+        ct_parts: list[np.ndarray] = []
+        it_parts: list[np.ndarray] = []
+        n_skip = 0
+
+        # round 1 runs on the full lane set with no claims registered
+        # yet this wave — the claim-array gathers are known-INF, so the
+        # dominant round skips them and works on unmasked arrays
+        if fresh:
+            # ... and with no prior claims either, the only decidable
+            # outcome is CREATE: lanes whose own vertex has no earlier
+            # pending claim and whose target is uncontested (two
+            # unnegated compares — same predicate, fewer passes)
+            decide_create = (su >= turns) & (pend[v] >= turns)
+            newly = decide_create
+        else:
+            c_pending = pend[v] < turns
+            s_known = claimed0_u
+            s_blocked = ~s_known & (su < turns)
+            c_claimed = claimed0_v
+            open_ = ~s_known & ~s_blocked
+            decide_claimed = open_ & c_claimed
+            decide_create = open_ & ~c_claimed & ~c_pending
+            newly = s_known | decide_claimed | decide_create
+            n_skip = int(np.count_nonzero(s_known))
+            it = self._settle_claimed(v, np.flatnonzero(decide_claimed), inherit)
+            if len(it):
+                claim[u[it]] = it
+                it_parts.append(it)
+        ct = np.flatnonzero(decide_create)
+        if len(ct):
+            claim[v[ct]] = ct
+            claim[u[ct]] = ct
+            ct_parts.append(ct)
+        und = np.flatnonzero(~newly).astype(_TURN)
+        # clear this round's events, then rescatter the survivors: every
+        # later round only ever needs to clear the previous ``und`` set,
+        # and the scratch is all-INF again the moment the wave drains
+        pend[v] = _INF
+        pend[u] = _INF
+        if len(und):
+            scatter_first_wins(pend, v[und], und)
+            su = pend[u[und]]
+            pend[u[und]] = np.minimum(su, und)
+        for _ in range(k + 1):
+            if not len(und):
+                break
+            uu, vv, t = u[und], v[und], und
+            # skip iff u claimed before turn t; blocked while an earlier
+            # undecided lane could still claim it
+            s_known = claimed0_u[und] | (claim[uu] < t)
+            s_blocked = ~s_known & (su < t)
+            # v-side claim state at turn t (claims never revert within a
+            # wave, so one decided claim before t settles the question)
+            c_claimed = claimed0_v[und] | (claim[vv] < t)
+            c_pending = pend[vv] < t
+            open_ = ~s_known & ~s_blocked
+            decide_claimed = open_ & c_claimed
+            decide_create = open_ & ~c_claimed & ~c_pending
+            newly = s_known | decide_claimed | decide_create
+            if not newly.any():  # pragma: no cover - progress is guaranteed
+                raise RuntimeError("wave fixpoint stalled")
+            n_skip += int(np.count_nonzero(s_known))
+            it = self._settle_claimed(v, t[decide_claimed], inherit)
+            ct = t[decide_create]
+            # claims are unique per vertex (a second claimant would have
+            # been blocked or seen c_claimed), so plain assignment works
+            if len(ct):
+                claim[v[ct]] = ct
+                claim[u[ct]] = ct
+                ct_parts.append(ct)
+            if len(it):
+                claim[u[it]] = it
+                it_parts.append(it)
+            # rebuild pending events from the remaining undecided lanes
+            # (uu/vv cover every event currently in the scratch)
+            und = t[~newly]
+            pend[vv] = _INF
+            pend[uu] = _INF
+            if len(und):
+                scatter_first_wins(pend, v[und], und)
+                su = pend[u[und]]
+                pend[u[und]] = np.minimum(su, und)
+
+        # create ids are numbered in lane order: each round's lanes come
+        # out ascending, so only multi-round waves need the merge sort
+        if not ct_parts:
+            cidx = np.zeros(0, dtype=np.int64)
+        elif len(ct_parts) == 1:
+            cidx = ct_parts[0]
+        else:
+            cidx = np.sort(np.concatenate(ct_parts))
+        # inherit order is irrelevant (no ids assigned, one write per lane)
+        iidx = it_parts[0] if len(it_parts) == 1 else (
+            np.concatenate(it_parts) if it_parts else np.zeros(0, dtype=np.int64)
+        )
+        # inherits are applied first so the M gather reads wave-start
+        # values (create targets were unmapped before this wave, so the
+        # two writes are disjoint anyway)
+        if len(iidx):
+            iu = u[iidx]
+            self.m[iu] = self.m[v[iidx]]
+            self.wstamp[iu] = self.wave
+            self.claimed[iu] = True
+            claim[iu] = _INF
+            self._any_claimed = True
+        n_create = len(cidx)
+        if n_create:
+            cu, cv = u[cidx], v[cidx]
+            ids = self.n_c + np.arange(n_create, dtype=VI)
+            self.m[cu] = ids
+            self.m[cv] = ids
+            self.wstamp[cu] = self.wave
+            self.wstamp[cv] = self.wave
+            self.claimed[cu] = True
+            self.claimed[cv] = True
+            self.n_c += n_create
+            self._any_claimed = True
+            # claims were only ever written for creates and inherits, so
+            # the claim reset is targeted instead of wave-wide
+            claim[cv] = _INF
+            claim[cu] = _INF
+        return n_create, len(iidx), n_skip

@@ -74,9 +74,14 @@ def fm_refine(
         gains = compute_gains(g, part)
         stamp = np.zeros(n, dtype=np.int64)
         locked = np.zeros(n, dtype=bool)
-        heaps: list[list] = [[], []]  # heap[s]: movable vertices on side s
-        for v in range(n):
-            heapq.heappush(heaps[part[v]], (-gains[v], 0, v))
+        # heap[s]: movable vertices on side s.  Built in bulk: the pop
+        # order only depends on the (key, stamp, id) tuples — a total
+        # order — so heapify yields the same move sequence as n pushes.
+        heaps: list[list] = [[], []]
+        for s in (0, 1):
+            vs = np.flatnonzero(part == s)
+            heaps[s] = list(zip((-gains[vs]).tolist(), (0,) * len(vs), vs.tolist()))
+            heapq.heapify(heaps[s])
 
         moves: list[int] = []
         pass_cut = cut
@@ -136,13 +141,22 @@ def fm_refine(
             pass_cut -= gains[v]
             moves.append(v)
             # incremental neighbour gain updates: an edge to v's new side
-            # became internal (gain down), to its old side external (up)
-            for u, wt in zip(g.neighbors(v), g.edge_weights(v)):
-                if locked[u]:
-                    continue
-                gains[u] += -2.0 * wt if part[u] == other else 2.0 * wt
-                stamp[u] += 1
-                heapq.heappush(heaps[part[u]], (-gains[u], stamp[u], int(u)))
+            # became internal (gain down), to its old side external (up).
+            # Applied to all unlocked neighbours at once — adjacency
+            # entries are distinct, so the batched update touches each
+            # neighbour exactly once, like the sequential loop.
+            nbrs, wts = g.neighbors(v), g.edge_weights(v)
+            unlocked = ~locked[nbrs]
+            if unlocked.any():
+                uu, ww = nbrs[unlocked], wts[unlocked]
+                sides = part[uu]
+                np.add.at(gains, uu, np.where(sides == other, -2.0 * ww, 2.0 * ww))
+                np.add.at(stamp, uu, 1)
+                for entry, s in zip(
+                    zip((-gains[uu]).tolist(), stamp[uu].tolist(), uu.tolist()),
+                    sides.tolist(),
+                ):
+                    heapq.heappush(heaps[s], entry)
 
             now_balanced = abs(w[0] - w[1]) <= balance_tol
             if now_balanced and pass_cut < best_prefix_cut - 1e-12:

@@ -158,14 +158,20 @@ class TestKeepSide:
 
         real = vs.sorted_dedup
 
-        def spy(mu, mv, w, n_c, space, phase="construction"):
-            seen["entries"] = len(mu)
-            return real(mu, mv, w, n_c, space, phase)
+        def spy(mu, mv, w, n_c, space, phase="construction", packed=None):
+            seen["entries"] = len(packed if packed is not None else mu)
+            return real(mu, mv, w, n_c, space, phase, packed=packed)
 
         monkeypatch.setattr(vs, "sorted_dedup", spy)
         vs.construct_sort(g, mp, gpu_space(0))
         with_opt = seen["entries"]
+        # without the sweep, dedup would see both directed copies of
+        # every cross edge; the sweep keeps exactly one per edge
+        cross = m[g.edge_sources()] != m[g.adjncy]
+        assert with_opt * 2 == int(cross.sum())
+        # the regular path is fully fused and never materialises a
+        # separate dedup input at all
+        seen.clear()
         monkeypatch.setattr(dedup_mod, "SKEW_THRESHOLD", float("inf"))
         vs.construct_sort(g, mp, gpu_space(0))
-        without = seen["entries"]
-        assert with_opt * 2 == without
+        assert "entries" not in seen

@@ -1,0 +1,155 @@
+"""Equivalence and unit tests for the vectorized wave engine.
+
+The contract of :mod:`repro.parallel.wavekernels` is *bit-exact*
+equivalence with the per-lane loop references: for every graph, wave
+size, and seed, the vectorized kernels must produce the same mapping,
+the same pass counts and per-pass resolution tallies, and charge the
+same ledger totals.  The sweep below exercises the full wave-size
+spectrum — serialized (1), small waves (64), and the one-wave-per-pass
+GPU regime — on a regular and a skewed corpus graph plus adversarial
+synthetic shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coarsen.hec import hec_parallel, hec_parallel_reference, hec_serial
+from repro.coarsen.hem import hem_parallel, hem_parallel_reference, hem_serial
+from repro.coarsen.mapping import validate_mapping
+from repro.generators.corpus import load
+from repro.parallel.cost import CostLedger
+from repro.parallel.execspace import ExecSpace, serial_space
+from repro.parallel.machine import RYZEN32_CPU, TURING_GPU
+from repro.parallel.primitives import segment_max_index, stable_key_sort
+from repro.parallel.wavekernels import (
+    group_ranks,
+    scatter_first_wins,
+    wave_bounds,
+)
+
+from .conftest import grid_graph, random_connected, star_graph
+
+#: one regular and one skewed corpus graph, small enough that even the
+#: per-lane references run at wave size 1 in test time
+CORPUS_SAMPLES = ["MLGeer", "ppa"]
+WAVE_SIZES = [1, 64, None]  # None = machine concurrency (one-wave GPU)
+SEEDS = [0, 1, 2]
+
+
+def _space(seed: int, wave_size: int | None) -> ExecSpace:
+    machine = TURING_GPU if wave_size is None else RYZEN32_CPU
+    return ExecSpace(
+        machine, np.random.default_rng(seed), CostLedger(), wave_size=wave_size
+    )
+
+
+def _ledger_totals(ledger: CostLedger) -> dict:
+    return {ph: ledger.phase(ph).as_dict() for ph in ledger.phases()}
+
+
+def _assert_equivalent(g, kernel, reference, seed: int, wave_size: int | None):
+    s_ref = _space(seed, wave_size)
+    s_vec = _space(seed, wave_size)
+    ref = reference(g, s_ref)
+    vec = kernel(g, s_vec)
+    assert np.array_equal(ref.m, vec.m)
+    assert ref.n_c == vec.n_c
+    assert ref.stats == vec.stats  # passes + resolved_per_pass included
+    assert _ledger_totals(s_ref.ledger) == _ledger_totals(s_vec.ledger)
+    validate_mapping(vec)
+
+
+@pytest.mark.parametrize("graph_name", CORPUS_SAMPLES)
+@pytest.mark.parametrize("wave_size", WAVE_SIZES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hec_matches_reference_on_corpus(graph_name, wave_size, seed):
+    g, _ = load(graph_name, 0)
+    _assert_equivalent(g, hec_parallel, hec_parallel_reference, seed, wave_size)
+
+
+@pytest.mark.parametrize("graph_name", CORPUS_SAMPLES)
+@pytest.mark.parametrize("wave_size", WAVE_SIZES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hem_matches_reference_on_corpus(graph_name, wave_size, seed):
+    g, _ = load(graph_name, 0)
+    _assert_equivalent(g, hem_parallel, hem_parallel_reference, seed, wave_size)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("wave_size", [1, 7, 64, None])
+def test_adversarial_shapes_match_reference(seed, wave_size):
+    # hubs maximise claim contention; the grid exercises mutual pairs
+    for g in (star_graph(40), grid_graph(8, 8), random_connected(200, 400, seed=seed)):
+        _assert_equivalent(g, hec_parallel, hec_parallel_reference, seed, wave_size)
+        _assert_equivalent(g, hem_parallel, hem_parallel_reference, seed, wave_size)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_serial_space_reproduces_hec_serial(seed):
+    # wave size 1 *is* the sequential algorithm for HEC
+    for g in (grid_graph(6, 6), random_connected(120, 300, seed=seed)):
+        a = hec_serial(g, serial_space(seed))
+        b = hec_parallel(g, serial_space(seed))
+        assert np.array_equal(a.m, b.m)
+        assert a.n_c == b.n_c
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hem_serial_wave1_is_valid(seed):
+    # HEM's singleton timing differs from the sequential transcription
+    # (documented divergence), so serial-space equivalence is asserted
+    # against the reference loop, plus mapping validity
+    g = random_connected(150, 320, seed=seed)
+    _assert_equivalent(g, hem_parallel, hem_parallel_reference, seed, 1)
+    m = hem_serial(g, serial_space(seed))
+    validate_mapping(m)
+
+
+# -- unit tests for the engine primitives -------------------------------------
+
+
+@pytest.mark.parametrize("total,width", [(0, 4), (1, 4), (10, 3), (12, 4), (5, 100), (7, 1)])
+def test_wave_bounds_matches_waves(total, width):
+    space = ExecSpace(
+        RYZEN32_CPU, np.random.default_rng(0), CostLedger(), wave_size=width
+    )
+    assert [tuple(b) for b in wave_bounds(total, width)] == list(space.waves(total))
+
+
+def test_scatter_first_wins_keeps_first_occurrence():
+    dest = np.full(5, -1, dtype=np.int64)
+    scatter_first_wins(dest, np.array([3, 1, 3, 1, 0]), np.array([10, 11, 12, 13, 14]))
+    assert dest.tolist() == [14, 11, -1, 10, -1]
+
+
+def test_group_ranks_within_runs():
+    assert group_ranks(np.array([2, 2, 2, 5, 7, 7])).tolist() == [0, 1, 2, 0, 0, 1]
+    assert group_ranks(np.array([], dtype=np.int64)).tolist() == []
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stable_key_sort_matches_argsort(seed):
+    rng = np.random.default_rng(seed)
+    key = rng.integers(0, 50, 1000)
+    order, sorted_key = stable_key_sort(key, 50)
+    expect = np.argsort(key, kind="stable")
+    assert np.array_equal(order, expect)
+    assert np.array_equal(sorted_key, key[expect])
+
+
+def test_has_unit_ewgts_and_tie_mask():
+    g = random_connected(60, 150, seed=0)
+    assert g.has_unit_ewgts() == bool(np.all(g.ewgts == 1.0))
+    assert np.array_equal(g.tie_mask(), g.edge_sources() < g.adjncy)
+
+
+def test_segment_max_index_constant_and_varied():
+    xadj = np.array([0, 3, 3, 7])
+    const = np.ones(7)
+    out = segment_max_index(None, const, xadj)
+    assert out.tolist() == [0, -1, 3]  # first entry wins; empty segment -1
+    varied = np.array([1.0, 5.0, 5.0, 2.0, 9.0, 9.0, 1.0])
+    out = segment_max_index(None, varied, xadj)
+    assert out.tolist() == [1, -1, 4]  # ties resolve to the earliest entry
