@@ -2,7 +2,17 @@
 
 from . import experiments
 from .harness import corpus_graph, run_coarsening, run_partition, space_for
-from .report import format_table, geomean, median, ratio, write_results, write_trace
+from .report import (
+    format_table,
+    geomean,
+    median,
+    merge_wallclock_file,
+    ratio,
+    wallclock_key,
+    wallclock_reference,
+    write_results,
+    write_trace,
+)
 
 __all__ = [
     "experiments",
@@ -16,4 +26,7 @@ __all__ = [
     "format_table",
     "write_trace",
     "write_results",
+    "wallclock_key",
+    "wallclock_reference",
+    "merge_wallclock_file",
 ]

@@ -30,6 +30,9 @@ __all__ = [
     "format_cache_stats",
     "write_trace",
     "write_results",
+    "wallclock_key",
+    "wallclock_reference",
+    "merge_wallclock_file",
     "main",
 ]
 
@@ -155,6 +158,63 @@ def write_results(rows: list[dict], trace_dir) -> Path:
 
 # ------------------------------------------------------------ runner CLI
 
+#: wall-clock baseline schema: one file, one entry per gated configuration
+WALLCLOCK_SCHEMA = 2
+
+
+def wallclock_key(machine: str, coarsener: str, constructor: str, seed: int,
+                  jobs: int = 1) -> str:
+    """Config key of one wall-clock baseline entry.
+
+    Parallel runs (``jobs > 1``) gate against their own ``:jN`` entry:
+    in-worker repetition times include whatever core/bandwidth
+    contention that worker count causes, so comparing them against a
+    serial baseline would misread contention as a kernel regression.
+    """
+    key = f"{machine}:{coarsener}:{constructor}:s{seed}"
+    return f"{key}:j{jobs}" if jobs > 1 else key
+
+
+def _legacy_wallclock_key(doc: dict) -> str:
+    cfg = doc.get("config", {})
+    return wallclock_key(
+        cfg.get("machine", "gpu"),
+        cfg.get("coarsener", "hec"),
+        cfg.get("constructor", "sort"),
+        cfg.get("seed", 0),
+    )
+
+
+def merge_wallclock_file(path: Path, key: str, entry: dict) -> None:
+    """Insert/replace one config entry in a wall-clock baseline file.
+
+    Schema-1 files (one top-level config, PR 3) are adopted as a single
+    entry under their legacy key, so extending the baseline never
+    discards the configs already committed.
+    """
+    doc = {"schema": WALLCLOCK_SCHEMA, "configs": {}}
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except ValueError:
+            old = {}
+        if isinstance(old.get("configs"), dict):
+            doc["configs"] = dict(old["configs"])
+        elif "per_graph_best_sum_s" in old:
+            doc["configs"][_legacy_wallclock_key(old)] = old
+    doc["configs"][key] = entry
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def wallclock_reference(ref: dict, key: str) -> dict | None:
+    """Find the entry gating ``key`` in a baseline file (any schema)."""
+    if isinstance(ref.get("configs"), dict):
+        return ref["configs"].get(key)
+    if "per_graph_best_sum_s" in ref and _legacy_wallclock_key(ref) == key:
+        return ref
+    return None
+
+
 _COARSEN_COLUMNS = [
     ("graph", "Graph", "s"),
     ("total_s", "Total(s)", ".4g"),
@@ -177,8 +237,12 @@ _PARTITION_COLUMNS = [
 ]
 
 
-def _emit(rows: list[dict], columns, title: str, args) -> int:
+def _emit(rows: list[dict], columns, title: str, args, summary: dict | None = None) -> int:
     print(format_table(rows, columns, title))
+    if summary is not None and summary.get("jobs", 1) > 1:
+        from ..parallel.pool import format_pool_summary
+
+        print(format_pool_summary(summary))
     if args.trace_dir is not None:
         written = [write_trace(r, args.trace_dir) for r in rows]
         write_results(rows, args.trace_dir)
@@ -187,79 +251,119 @@ def _emit(rows: list[dict], columns, title: str, args) -> int:
     return 0
 
 
-def _cmd_coarsen(args) -> int:
-    from .harness import corpus_graph, run_coarsening
+def _resolve_jobs(args) -> int:
+    """``--jobs`` resolution: default 1 (serial), 0 = every usable core."""
+    from ..parallel.pool import default_jobs
 
-    g, spec = corpus_graph(args.graph, args.seed)
-    r = run_coarsening(g, spec, machine=args.machine, coarsener=args.coarsener,
-                       constructor=args.constructor, seed=args.seed, oom=args.oom)
+    jobs = getattr(args, "jobs", 1)
+    return default_jobs() if jobs == 0 else max(1, jobs)
+
+
+def _task_from_args(kind: str, graph: str, args, **overrides):
+    from ..parallel.pool import ExperimentTask
+
+    return ExperimentTask(
+        kind=kind,
+        graph=graph,
+        machine=args.machine,
+        coarsener=args.coarsener,
+        constructor=args.constructor,
+        refinement=getattr(args, "refinement", "spectral"),
+        seed=args.seed,
+        oom=args.oom,
+        **overrides,
+    )
+
+
+def _run_tasks(tasks, args):
+    """Run tasks serially or through the worker pool, per ``--jobs``."""
+    from ..parallel.pool import run_experiments
+
+    out = run_experiments(tasks, jobs=_resolve_jobs(args))
+    return out.results, out.summary
+
+
+def _cmd_coarsen(args) -> int:
+    rows, summary = _run_tasks([_task_from_args("coarsen", args.graph, args)], args)
     title = (f"coarsening {args.graph} on {args.machine} "
              f"({args.coarsener}+{args.constructor}, seed {args.seed})")
-    return _emit([r], _COARSEN_COLUMNS, title, args)
+    return _emit(rows, _COARSEN_COLUMNS, title, args, summary)
 
 
 def _cmd_partition(args) -> int:
-    from .harness import corpus_graph, run_partition
-
-    g, spec = corpus_graph(args.graph, args.seed)
-    r = run_partition(g, spec, machine=args.machine, coarsener=args.coarsener,
-                      constructor=args.constructor, refinement=args.refinement,
-                      seed=args.seed, oom=args.oom)
+    rows, summary = _run_tasks([_task_from_args("partition", args.graph, args)], args)
     title = (f"bisection {args.graph} on {args.machine} "
              f"({args.coarsener}+{args.constructor}, {args.refinement} "
              f"refinement, seed {args.seed})")
-    return _emit([r], _PARTITION_COLUMNS, title, args)
+    return _emit(rows, _PARTITION_COLUMNS, title, args, summary)
 
 
 def _cmd_corpus_wallclock(args) -> int:
     """Host wall-clock (not simulated seconds) over the whole corpus.
 
-    Times ``run_coarsening`` per graph for ``--reps`` repetitions and
-    keeps each graph's best — best-of-N is the standard noise-robust
-    estimator for short kernels on shared machines.  The summary metric
-    is the sum of per-graph bests.  Writes ``BENCH_wallclock.json``
-    (``--wallclock-out``) and, with ``--compare-wallclock REF``, exits
-    non-zero when the sum regresses more than ``--max-regression``
-    relative to the reference file — the CI gate for the vectorized
-    kernels.
+    Each graph's pipeline is warmed (``--warmup`` untimed repetitions,
+    after the corpus cache itself was warmed by loading every graph up
+    front) and then timed for ``--reps`` repetitions; the per-graph best
+    is the noise-robust headline (best-of-N), reported alongside the
+    per-graph median (the honest typical-rep estimator).  With
+    ``--jobs N`` the per-graph repetition blocks fan out over the worker
+    pool, largest graph first.  ``--wallclock-out`` merges this config's
+    entry into the (multi-config, schema-2) baseline file, and
+    ``--compare-wallclock REF`` exits non-zero when the per-graph-best
+    sum regresses more than ``--max-regression`` against the matching
+    entry — the CI gate for the vectorized kernels, on both the serial
+    and the parallel path.
     """
-    import time
-
     from ..generators.corpus import CORPUS
-    from .harness import corpus_graph, run_coarsening
+    from ..parallel.pool import format_pool_summary, run_experiments
 
-    graphs = {spec.name: corpus_graph(spec.name, args.seed) for spec in CORPUS}
-    best = {name: math.inf for name in graphs}
-    totals = []
-    for _ in range(args.reps):
-        t_rep = time.perf_counter()
-        for name, (g, spec) in graphs.items():
-            t0 = time.perf_counter()
-            run_coarsening(g, spec, machine=args.machine, coarsener=args.coarsener,
-                           constructor=args.constructor, seed=args.seed, oom=args.oom)
-            best[name] = min(best[name], time.perf_counter() - t0)
-        totals.append(time.perf_counter() - t_rep)
+    jobs = _resolve_jobs(args)
+    tasks = [
+        _task_from_args("coarsen", spec.name, args, wallclock=True,
+                        reps=args.reps, warmup=args.warmup)
+        for spec in CORPUS
+    ]
+    out = run_experiments(tasks, jobs=jobs)
+    times = {r["graph"]: r["times"] for r in out.results}
+    best = {name: min(ts) for name, ts in times.items()}
+    med = {name: median(ts) for name, ts in times.items()}
+    # rep-major totals: the i-th timed repetition summed over all graphs
+    totals = [sum(rep) for rep in zip(*times.values())]
 
-    doc = {
+    key = wallclock_key(args.machine, args.coarsener, args.constructor,
+                        args.seed, jobs)
+    entry = {
         "config": {"machine": args.machine, "coarsener": args.coarsener,
                    "constructor": args.constructor, "seed": args.seed,
-                   "reps": args.reps},
+                   "reps": args.reps, "warmup": args.warmup},
+        "jobs": jobs,
         "per_graph_best_s": {k: round(v, 6) for k, v in best.items()},
         "per_graph_best_sum_s": round(sum(best.values()), 6),
+        "per_graph_median_s": {k: round(v, 6) for k, v in med.items()},
+        "per_graph_median_sum_s": round(sum(med.values()), 6),
         "best_total_s": round(min(totals), 6),
         "totals_s": [round(t, 6) for t in totals],
+        "suite_wall_s": round(out.summary["wall_s"], 6),
     }
-    print(f"per-graph-best-sum {doc['per_graph_best_sum_s']:.4f} s "
-          f"(best total {doc['best_total_s']:.4f} s over {args.reps} reps)")
+    print(f"[{key}] per-graph-best-sum {entry['per_graph_best_sum_s']:.4f} s  "
+          f"median-sum {entry['per_graph_median_sum_s']:.4f} s  "
+          f"(suite wall {entry['suite_wall_s']:.4f} s, jobs {jobs}, "
+          f"{args.reps} reps + {args.warmup} warmup)")
+    if jobs > 1:
+        print(format_pool_summary(out.summary))
     if args.wallclock_out is not None:
-        args.wallclock_out.write_text(json.dumps(doc, indent=2) + "\n")
+        merge_wallclock_file(args.wallclock_out, key, entry)
         print(f"wrote {args.wallclock_out}")
     if args.compare_wallclock is not None:
         ref = json.loads(args.compare_wallclock.read_text())
-        ref_sum = float(ref["per_graph_best_sum_s"])
-        rel = doc["per_graph_best_sum_s"] / ref_sum - 1.0
+        ref_entry = wallclock_reference(ref, key)
+        if ref_entry is None:
+            print(f"ERROR: no entry for config {key!r} in {args.compare_wallclock}")
+            return 2
+        ref_sum = float(ref_entry["per_graph_best_sum_s"])
+        rel = entry["per_graph_best_sum_s"] / ref_sum - 1.0
         status = "ok" if rel <= args.max_regression else "REGRESSION"
-        print(f"{status}: {rel:+.1%} vs {args.compare_wallclock} "
+        print(f"{status}: {rel:+.1%} vs {args.compare_wallclock}[{key}] "
               f"(threshold +{args.max_regression:.0%})")
         if rel > args.max_regression:
             return 1
@@ -268,21 +372,15 @@ def _cmd_corpus_wallclock(args) -> int:
 
 def _cmd_corpus(args) -> int:
     from ..generators.corpus import CORPUS
-    from .harness import corpus_graph, run_coarsening
 
     if args.wallclock:
         return _cmd_corpus_wallclock(args)
 
-    rows = []
-    for spec in CORPUS:
-        g, sp = corpus_graph(spec.name, args.seed)
-        rows.append(run_coarsening(g, sp, machine=args.machine,
-                                   coarsener=args.coarsener,
-                                   constructor=args.constructor,
-                                   seed=args.seed, oom=args.oom))
+    tasks = [_task_from_args("coarsen", spec.name, args) for spec in CORPUS]
+    rows, summary = _run_tasks(tasks, args)
     title = (f"corpus coarsening on {args.machine} "
              f"({args.coarsener}+{args.constructor}, seed {args.seed})")
-    return _emit(rows, _COARSEN_COLUMNS, title, args)
+    return _emit(rows, _COARSEN_COLUMNS, title, args, summary)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -303,6 +401,10 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--oom", action="store_true",
                        help="enable the paper-scale OOM simulation")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial in-process; "
+                            "0 = every usable core); results are bitwise "
+                            "identical to a serial run at any value")
         if partition:
             p.add_argument("--refinement", choices=("spectral", "fm"),
                            default="spectral")
@@ -322,6 +424,9 @@ def main(argv: list[str] | None = None) -> int:
                             "the simulated-seconds table")
     p_all.add_argument("--reps", type=int, default=10,
                        help="wall-clock repetitions (per-graph best kept)")
+    p_all.add_argument("--warmup", type=int, default=1,
+                       help="untimed per-graph warm-up repetitions before the "
+                            "timed reps (cache/allocator warm-up; default 1)")
     p_all.add_argument("--wallclock-out", type=Path, default=None,
                        help="write the wall-clock summary JSON here")
     p_all.add_argument("--compare-wallclock", type=Path, default=None,

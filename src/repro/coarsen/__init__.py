@@ -38,7 +38,7 @@ from .mtmetis import TWOHOP_THRESHOLD, mtmetis_coarsen
 from .suitor import suitor_coarsen, suitor_matching
 from .ace import ace_coarsen, ace_interpolation, ace_select_representatives
 from .multilevel import MAX_LEVELS, GraphHierarchy, coarsen_multilevel
-from .twohop import match_leaves, match_relatives, match_twins
+from .twohop import match_leaves, match_relatives, match_twins, match_twins_reference
 
 __all__ = [
     "CoarseMapping",
@@ -60,6 +60,7 @@ __all__ = [
     "match_leaves",
     "match_twins",
     "match_relatives",
+    "match_twins_reference",
     "mis2_coarsen",
     "distance2_mis",
     "gosh_coarsen",

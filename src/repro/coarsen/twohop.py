@@ -25,9 +25,36 @@ from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
 from ..types import UNMAPPED, VI
 
-__all__ = ["match_leaves", "match_twins", "match_relatives"]
+__all__ = ["match_leaves", "match_twins", "match_relatives", "match_twins_reference"]
 
 _B = 8
+
+
+def _pair_sorted_runs(cand: np.ndarray, m: np.ndarray, counter: np.ndarray,
+                      new_run: np.ndarray) -> int:
+    """Pair consecutive candidates within each equal-key run, vectorized.
+
+    ``cand`` is already ordered so that equal keys are contiguous;
+    ``new_run[i]`` marks where run ``i`` begins.  Within a run of length
+    L the pairs are (0,1), (2,3), … — positions at even in-run rank with
+    a successor — exactly the reference's greedy left-to-right scan.
+    Pair ids are drawn in ascending position order, matching the
+    reference's sequential AtomicIncr draws bit-for-bit.
+    """
+    n = len(cand)
+    run_start = np.flatnonzero(new_run)
+    run_id = np.cumsum(new_run) - 1
+    rank = np.arange(n) - run_start[run_id]
+    run_len = np.diff(np.append(run_start, n))
+    pairable = (rank % 2 == 0) & (rank + 1 < run_len[run_id])
+    first = np.flatnonzero(pairable)
+    if len(first) == 0:
+        return 0
+    a, b = cand[first], cand[first + 1]
+    ids = batch_fetch_add(counter, len(a))
+    m[a] = ids
+    m[b] = ids
+    return 2 * len(a)
 
 
 def _pair_by_key(cand: np.ndarray, keys: np.ndarray, m: np.ndarray, counter: np.ndarray) -> int:
@@ -35,14 +62,28 @@ def _pair_by_key(cand: np.ndarray, keys: np.ndarray, m: np.ndarray, counter: np.
 
     Candidates are sorted by ``keys``; within each equal-key run,
     entries are paired two at a time (the odd one stays unmatched).
+    Bit-identical to :func:`_pair_by_key_reference` without the Python
+    scan: run starts come from key change points and the in-run pairing
+    is a rank-parity mask.
     """
+    if len(cand) < 2:
+        return 0
+    order = np.argsort(keys, kind="stable")
+    cand, keys = cand[order], keys[order]
+    new_run = np.empty(len(cand), dtype=bool)
+    new_run[0] = True
+    new_run[1:] = keys[1:] != keys[:-1]
+    return _pair_sorted_runs(cand, m, counter, new_run)
+
+
+def _pair_by_key_reference(cand: np.ndarray, keys: np.ndarray, m: np.ndarray, counter: np.ndarray) -> int:
+    """Sequential rendering of :func:`_pair_by_key` (kept for equivalence tests)."""
     if len(cand) < 2:
         return 0
     order = np.argsort(keys, kind="stable")
     cand, keys = cand[order], keys[order]
     # mark run starts, pair positions (i, i+1) where both share the key
     same = keys[1:] == keys[:-1]
-    take = np.zeros(len(cand), dtype=bool)
     # greedy scan: position i pairs with i+1 iff same key and i not taken
     i = 0
     first = []
@@ -78,16 +119,8 @@ def match_leaves(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpa
     return _pair_by_key(cand, hubs, m, counter)
 
 
-def match_twins(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpace, max_degree: int = 64) -> int:
-    """Pair unmatched vertices with identical adjacency lists.
-
-    Adjacency lists are fingerprinted with a position-weighted polynomial
-    hash computed in one vectorised sweep (CSR rows are stored sorted, so
-    equal sets hash equally); hash buckets are verified entry-by-entry
-    before matching, so collisions can cost time but never correctness.
-    Degree is capped: hubs are poor twin candidates and comparing their
-    rows is the quadratic trap mt-Metis avoids.
-    """
+def _twin_candidates(g: CSRGraph, m: np.ndarray, space: ExecSpace, max_degree: int):
+    """Shared front half of twin matching: candidates, charge, fingerprints."""
     deg = np.diff(g.xadj)
     cand = np.flatnonzero((m == UNMAPPED) & (deg >= 1) & (deg <= max_degree)).astype(VI)
     space.ledger.charge(
@@ -99,7 +132,7 @@ def match_twins(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpac
         ),
     )
     if len(cand) < 2:
-        return 0
+        return cand, None
     # polynomial row fingerprints over the whole graph in one pass
     mod = np.int64(2**61 - 1)
     mult = np.int64(1_000_003)
@@ -108,8 +141,81 @@ def match_twins(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpac
     sums = np.zeros(g.n, dtype=np.int64)
     np.add.at(sums, np.repeat(np.arange(g.n, dtype=VI), deg), contrib)
     key = sums[cand] * np.int64(1315423911) % mod + deg[cand].astype(np.int64)
+    return cand, key
 
-    # bucket by (fingerprint) and verify rows before pairing
+
+def match_twins(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpace, max_degree: int = 64) -> int:
+    """Pair unmatched vertices with identical adjacency lists.
+
+    Adjacency lists are fingerprinted with a position-weighted polynomial
+    hash computed in one vectorised sweep (CSR rows are stored sorted, so
+    equal sets hash equally); fingerprint buckets are verified before
+    matching, so collisions can cost time but never correctness.  Degree
+    is capped: hubs are poor twin candidates and comparing their rows is
+    the quadratic trap mt-Metis avoids.
+
+    Verification is vectorised run-length grouping, not per-bucket
+    Python dicts: surviving candidates' rows are padded to the bucket
+    degree cap, grouped exactly with one lexicographic ``np.unique``,
+    reordered by each group's first occurrence (the reference's bucket
+    insertion order), and paired per equal-group run — bit-identical to
+    :func:`match_twins_reference`, including the AtomicIncr draw order.
+    """
+    cand, key = _twin_candidates(g, m, space, max_degree)
+    if key is None:
+        return 0
+    order = np.argsort(key, kind="stable")
+    cand, key = cand[order], key[order]
+    n_cand = len(cand)
+
+    # only fingerprint buckets with >= 2 members can pair; the reference
+    # never verifies singleton buckets either
+    new_key = np.empty(n_cand, dtype=bool)
+    new_key[0] = True
+    new_key[1:] = key[1:] != key[:-1]
+    bucket_id = np.cumsum(new_key) - 1
+    bucket_len = np.bincount(bucket_id)
+    survivors = bucket_len[bucket_id] >= 2
+    cand = cand[survivors]
+    if len(cand) < 2:
+        return 0
+
+    # exact row grouping: pad every candidate row to the common degree
+    # cap (degree <= max_degree by construction) and unique-by-row —
+    # identical padded rows <=> identical adjacency lists
+    deg = np.diff(g.xadj)
+    d = deg[cand]
+    maxd = int(d.max())
+    cols = np.arange(maxd, dtype=np.int64)
+    idx = g.xadj[cand][:, None] + cols[None, :]
+    valid = cols[None, :] < d[:, None]
+    rows = np.where(valid, g.adjncy[np.minimum(idx, g.m_directed - 1)], -1)
+    _, inverse = np.unique(rows, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+
+    # order groups by first occurrence (the reference's per-bucket dict
+    # insertion order), members by position; pair within each group run
+    first_pos = np.full(int(inverse.max()) + 1, len(cand), dtype=np.int64)
+    np.minimum.at(first_pos, inverse, np.arange(len(cand), dtype=np.int64))
+    order2 = np.argsort(first_pos[inverse], kind="stable")
+    gid = inverse[order2]
+    new_run = np.empty(len(gid), dtype=bool)
+    new_run[0] = True
+    new_run[1:] = gid[1:] != gid[:-1]
+    return _pair_sorted_runs(cand[order2], m, counter, new_run)
+
+
+def match_twins_reference(g: CSRGraph, m: np.ndarray, counter: np.ndarray, space: ExecSpace, max_degree: int = 64) -> int:
+    """Sequential rendering of :func:`match_twins` (kept for equivalence tests).
+
+    Buckets candidates by fingerprint with a Python scan and verifies
+    each bucket through per-vertex neighbour tuples grouped in a dict —
+    the loops the vectorised version replaces.  Charges the ledger
+    identically.
+    """
+    cand, key = _twin_candidates(g, m, space, max_degree)
+    if key is None:
+        return 0
     order = np.argsort(key, kind="stable")
     cand, key = cand[order], key[order]
     matched = 0

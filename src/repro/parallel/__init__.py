@@ -11,6 +11,16 @@ from .cost import CostLedger, KernelCost
 from .execspace import ExecSpace, cpu_space, gpu_space, serial_space
 from .machine import RYZEN32_CPU, TURING_GPU, MachineModel
 from .memory import MemoryTracker, SimulatedOOM
+from .pool import (
+    ExperimentTask,
+    PoolOutcome,
+    PoolTimeout,
+    WorkerCrash,
+    default_jobs,
+    format_pool_summary,
+    publish_corpus,
+    run_experiments,
+)
 from .primitives import (
     compact_nonnegative,
     exclusive_prefix_sum,
@@ -31,6 +41,14 @@ __all__ = [
     "RYZEN32_CPU",
     "MemoryTracker",
     "SimulatedOOM",
+    "ExperimentTask",
+    "PoolOutcome",
+    "PoolTimeout",
+    "WorkerCrash",
+    "default_jobs",
+    "format_pool_summary",
+    "publish_corpus",
+    "run_experiments",
     "cas",
     "fetch_add",
     "atomic_min",

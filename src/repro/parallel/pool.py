@@ -1,0 +1,413 @@
+"""Multiprocess experiment executor with a shared-memory corpus.
+
+The paper's evaluation is a large cross-product (coarseners ×
+constructors × machines × graphs × seeds) of *independent* runs, and the
+simulated numbers each run produces are fully determined by its
+configuration — exactly the shape mt-Metis and Kokkos treat as the
+baseline case for multi-core fan-out.  This module fans that
+cross-product over a process pool:
+
+* **Shared-memory corpus.**  The parent loads each needed corpus graph
+  once (through the PR-1 artifact cache, whose per-entry file lock is
+  the cross-process single-flight guard: concurrent loaders serialise
+  and only the first pays generation) and publishes its CSR arrays via
+  ``multiprocessing.shared_memory``.  Workers map them zero-copy with
+  :meth:`repro.csr.graph.CSRGraph.from_shared` — no per-task pickling of
+  hundred-MB arrays, no per-worker regeneration.
+* **Warm per-worker scratch.**  Each worker caches its mapped graphs
+  (and with them the graph's memoised ``degrees()``/``tie_mask()``
+  scratch) across tasks, so repeated runs on the same graph skip both
+  the mapping and the derived-array rebuilds.
+* **Largest-first scheduling.**  Tasks are submitted biggest graph
+  first (LPT), so a long-running graph never ends up as the lone
+  straggler behind an otherwise drained queue.
+* **Deterministic merge.**  Results are keyed by task configuration and
+  re-emitted in the caller's task order, never in completion order —
+  the merged results, ledger totals, and trace rollups are bitwise
+  identical to a serial run at any ``jobs`` value and any scheduling
+  interleave.
+* **Failure surfacing.**  A crashed worker raises :class:`WorkerCrash`
+  (carrying the earliest unfinished task) instead of hanging the pool;
+  an optional wall-clock ``timeout`` terminates a deadlocked pool.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..csr.graph import CSRGraph
+
+__all__ = [
+    "ExperimentTask",
+    "PoolOutcome",
+    "WorkerCrash",
+    "PoolTimeout",
+    "run_experiments",
+    "publish_corpus",
+    "default_jobs",
+    "format_pool_summary",
+]
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died (signal/os._exit) while the pool ran."""
+
+
+class PoolTimeout(RuntimeError):
+    """The pool exceeded its wall-clock budget; workers were terminated."""
+
+
+def default_jobs() -> int:
+    """Usable CPU count (affinity-aware) — the ``--jobs 0`` resolution."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One independent harness run (or timed repetition block thereof)."""
+
+    kind: str  # "coarsen" | "partition"
+    graph: str  # corpus graph name
+    machine: str = "gpu"
+    coarsener: str = "hec"
+    constructor: str = "sort"
+    refinement: str = "spectral"  # partition only
+    seed: int = 0
+    oom: bool = True
+    #: wall-clock mode: run ``warmup`` untimed + ``reps`` timed repetitions
+    #: in-worker and return host seconds instead of a traced result
+    wallclock: bool = False
+    reps: int = 1
+    warmup: int = 0
+
+    def key(self) -> str:
+        """Configuration identity — the deterministic-merge key."""
+        parts = [self.kind, self.machine, self.coarsener, self.constructor]
+        if self.kind == "partition":
+            parts.append(self.refinement)
+        parts += [self.graph, f"s{self.seed}"]
+        if self.wallclock:
+            parts.append(f"wall{self.reps}w{self.warmup}")
+        return ":".join(parts)
+
+
+@dataclass
+class PoolOutcome:
+    """Merged results (in task order) plus the pool's own accounting."""
+
+    results: list = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+
+# ------------------------------------------------------------- worker side
+
+#: (graph, seed) -> shared-memory descriptor, installed by the initializer
+_DESCRIPTORS: dict = {}
+#: (graph, seed) -> (CSRGraph, GraphSpec): the warm per-worker graph cache
+_WORKER_GRAPHS: dict = {}
+
+
+def _worker_init(descriptors: dict | None) -> None:
+    global _DESCRIPTORS
+    _DESCRIPTORS = dict(descriptors or {})
+    _WORKER_GRAPHS.clear()
+
+
+def _worker_graph(name: str, seed: int):
+    """Resolve one corpus graph inside a worker, warmest path first.
+
+    Order: the worker's own cache (reused scratch), the shared-memory
+    corpus (zero-copy map), and only then the artifact cache — whose
+    per-entry file lock single-flights any concurrent regeneration.
+    """
+    cached = _WORKER_GRAPHS.get((name, seed))
+    if cached is not None:
+        return cached
+    from ..generators import corpus
+
+    desc = _DESCRIPTORS.get((name, seed))
+    if desc is not None:
+        g = CSRGraph.from_shared(desc)
+        spec = corpus._BY_NAME.get(name)
+    else:
+        g, spec = corpus.load(name, seed)
+    _WORKER_GRAPHS[(name, seed)] = (g, spec)
+    return g, spec
+
+
+def _scalar_row(result: dict) -> dict:
+    """The JSON-scalar fields of a harness result (results.json content)."""
+    return {
+        k: v
+        for k, v in result.items()
+        if isinstance(v, (int, float, str, bool)) or v is None
+    }
+
+
+def _execute(task: ExperimentTask) -> dict:
+    """Run one task to a picklable row — shared by serial and worker paths."""
+    from ..bench.harness import run_coarsening, run_partition
+
+    g, spec = _worker_graph(task.graph, task.seed)
+    common = dict(
+        machine=task.machine,
+        coarsener=task.coarsener,
+        constructor=task.constructor,
+        seed=task.seed,
+        oom=task.oom,
+    )
+    if task.wallclock:
+        for _ in range(task.warmup):
+            run_coarsening(g, spec, **common)
+        times = []
+        for _ in range(task.reps):
+            t0 = time.perf_counter()
+            run_coarsening(g, spec, **common)
+            times.append(time.perf_counter() - t0)
+        return {"graph": task.graph, "times": times}
+    if task.kind == "partition":
+        result = run_partition(g, spec, refinement=task.refinement, **common)
+    elif task.kind == "coarsen":
+        result = run_coarsening(g, spec, **common)
+    else:
+        raise ValueError(f"unknown task kind {task.kind!r}")
+    row = _scalar_row(result)
+    tracer = result.get("trace")
+    if tracer is not None:
+        row["trace"] = tracer.to_dict() if hasattr(tracer, "to_dict") else tracer
+    return row
+
+
+def _run_task(task: ExperimentTask) -> dict:
+    t0 = time.perf_counter()
+    row = _execute(task)
+    return {
+        "key": task.key(),
+        "pid": os.getpid(),
+        "wall_s": time.perf_counter() - t0,
+        "row": row,
+    }
+
+
+# ------------------------------------------------------------- parent side
+
+
+def publish_corpus(pairs: Iterable[tuple[str, int]], *, loader=None):
+    """Load each (graph, seed) once and publish it to shared memory.
+
+    Loading goes through the artifact cache — its per-entry lock is the
+    single-flight guard against another process generating the same
+    graph concurrently.  Returns ``(descriptors, handles, sizes)``;
+    the caller owns the handles and must ``close()``/``unlink()`` them
+    after the fan-out completes.
+    """
+    if loader is None:
+        from ..generators.corpus import load as loader  # noqa: PLW0127
+
+    descriptors: dict = {}
+    handles: list = []
+    sizes: dict = {}
+    try:
+        for name, seed in dict.fromkeys(pairs):
+            g, _spec = loader(name, seed)
+            desc, shm = g.to_shared()
+            descriptors[(name, seed)] = desc
+            handles.append(shm)
+            sizes[(name, seed)] = g.size_measure
+    except BaseException:
+        _release(handles)
+        raise
+    return descriptors, handles, sizes
+
+
+def _release(handles: Sequence) -> None:
+    for shm in handles:
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def _check_unique(tasks: Sequence[ExperimentTask]) -> None:
+    seen: dict[str, int] = {}
+    for i, t in enumerate(tasks):
+        k = t.key()
+        if k in seen:
+            raise ValueError(
+                f"duplicate task configuration {k!r} (tasks {seen[k]} and {i}): "
+                "the deterministic merge keys results by configuration"
+            )
+        seen[k] = i
+
+
+def run_experiments(
+    tasks: Sequence[ExperimentTask],
+    jobs: int = 1,
+    *,
+    task_fn: Callable | None = None,
+    mp_context=None,
+    timeout: float | None = None,
+    share_corpus: bool = True,
+) -> PoolOutcome:
+    """Run ``tasks`` on ``jobs`` processes; merge deterministically.
+
+    ``jobs <= 1`` runs everything inline in this process (the serial
+    reference path); larger values fan out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` seeded with the
+    shared-memory corpus.  Results come back in **task order**, keyed by
+    each task's configuration, so the output is bitwise independent of
+    the interleave.  ``timeout`` bounds the whole run in wall-clock
+    seconds: on expiry workers are terminated and :class:`PoolTimeout`
+    raised, so a deadlocked pool fails fast instead of hanging CI.
+    """
+    tasks = list(tasks)
+    run_one = task_fn if task_fn is not None else _run_task
+    if task_fn is None:
+        _check_unique(tasks)
+    t_start = time.perf_counter()
+    by_key: dict[str, dict] = {}
+    workers: dict[int, dict] = {}
+    busy = 0.0
+
+    def record(out: dict) -> None:
+        nonlocal busy
+        by_key[out["key"]] = out["row"]
+        w = workers.setdefault(out["pid"], {"tasks": 0, "busy_s": 0.0})
+        w["tasks"] += 1
+        w["busy_s"] += out["wall_s"]
+        busy += out["wall_s"]
+
+    shared_bytes = 0
+    if jobs <= 1:
+        _worker_init({})
+        for t in tasks:
+            record(run_one(t))
+    else:
+        descriptors: dict = {}
+        handles: list = []
+        sizes: dict = {}
+        if share_corpus:
+            descriptors, handles, sizes = publish_corpus(
+                (t.graph, t.seed) for t in tasks
+            )
+            shared_bytes = sum(d["nbytes"] for d in descriptors.values())
+        # LPT: biggest graph first, original order as the tie-break
+        order = sorted(
+            range(len(tasks)),
+            key=lambda i: (-sizes.get((tasks[i].graph, tasks[i].seed), 0), i),
+        )
+        ctx = mp_context or mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        deadline = None if timeout is None else t_start + timeout
+        executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(descriptors,),
+        )
+        try:
+            futures = [(executor.submit(run_one, tasks[i]), i) for i in order]
+            for future, i in futures:
+                budget = None if deadline is None else deadline - time.perf_counter()
+                try:
+                    record(future.result(timeout=budget))
+                except FutureTimeoutError:
+                    _terminate(executor)
+                    raise PoolTimeout(
+                        f"pool exceeded {timeout:.1f}s wall-clock budget while "
+                        f"running {tasks[i].key()!r}"
+                    ) from None
+                except BrokenExecutor as e:
+                    raise WorkerCrash(
+                        f"worker process died while running {tasks[i].key()!r}: {e}"
+                    ) from e
+            executor.shutdown(wait=True)
+        except BaseException:
+            _terminate(executor)
+            raise
+        finally:
+            _release(handles)
+
+    wall = time.perf_counter() - t_start
+    results = [by_key[t.key()] for t in tasks] if task_fn is None else [
+        by_key[k] for k in by_key
+    ]
+    jobs_eff = max(1, jobs)
+    summary = {
+        "jobs": jobs_eff,
+        "tasks": len(tasks),
+        "wall_s": wall,
+        "busy_s": busy,
+        "utilization": busy / (jobs_eff * wall) if wall > 0 else 0.0,
+        # wall-clock the pool spent beyond a perfectly balanced split of
+        # the busy time: startup + scheduling + imbalance + merge
+        "overhead_s": max(0.0, wall - busy / jobs_eff),
+        "shared_mib": shared_bytes / (1024 * 1024),
+        "workers": {
+            pid: dict(stats) for pid, stats in sorted(workers.items())
+        },
+    }
+    return PoolOutcome(results=results, summary=summary)
+
+
+def _terminate(executor: ProcessPoolExecutor) -> None:
+    """Kill worker processes and abandon the executor without waiting.
+
+    Used on timeout/crash paths where ``shutdown(wait=True)`` could hang
+    behind a deadlocked worker.  After terminating the children the
+    executor's atexit wakeup is neutered: its pipe may already be closed
+    by the dying management thread, and writing to it at interpreter
+    exit only produces "Exception ignored" noise.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for p in list(processes.values()):
+        try:
+            p.terminate()
+        except Exception:  # pragma: no cover - racing process exit
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+    wakeup = getattr(executor, "_executor_manager_thread_wakeup", None)
+    if wakeup is not None:
+        wakeup.wakeup = lambda: None
+    thread = getattr(executor, "_executor_manager_thread", None)
+    if thread is not None:
+        thread.join(timeout=5.0)
+
+
+def format_pool_summary(summary: dict) -> str:
+    """Human-readable session summary: per-worker utilization + overhead."""
+    wall = summary["wall_s"]
+    lines = [
+        f"pool  {summary['jobs']} worker(s), {summary['tasks']} task(s), "
+        f"wall {wall:.3f}s"
+        + (
+            f", corpus {summary['shared_mib']:.1f} MiB shared"
+            if summary.get("shared_mib")
+            else ""
+        )
+    ]
+    for pid, w in summary["workers"].items():
+        pct = 100.0 * w["busy_s"] / wall if wall > 0 else 0.0
+        lines.append(
+            f"  worker {pid}: {w['tasks']} task(s), busy {w['busy_s']:.3f}s "
+            f"({pct:.0f}% of wall)"
+        )
+    lines.append(
+        f"  utilization {100.0 * summary['utilization']:.0f}%"
+        f"  overhead {summary['overhead_s']:.3f}s"
+        f"  (speedup x{summary['busy_s'] / wall if wall > 0 else math.nan:.2f}"
+        " vs serial busy time)"
+    )
+    return "\n".join(lines)

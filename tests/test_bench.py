@@ -149,3 +149,70 @@ class TestExperimentsSmoke:
 
         out = ablation_dedup(graph="HV15R")
         assert out["speedup"] == 1.0  # heuristic never engages on meshes
+
+
+class TestWallclockBaseline:
+    def _entry(self, total):
+        return {
+            "config": {"machine": "gpu", "coarsener": "hec",
+                       "constructor": "sort", "seed": 0},
+            "per_graph_best_sum_s": total,
+        }
+
+    def test_merge_creates_schema2(self, tmp_path):
+        import json
+
+        from repro.bench import merge_wallclock_file, wallclock_key, wallclock_reference
+
+        path = tmp_path / "wall.json"
+        key = wallclock_key("gpu", "hec", "sort", 0)
+        merge_wallclock_file(path, key, self._entry(1.5))
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 2
+        assert wallclock_reference(doc, key)["per_graph_best_sum_s"] == 1.5
+
+    def test_merge_accumulates_configs(self, tmp_path):
+        import json
+
+        from repro.bench import merge_wallclock_file, wallclock_key
+
+        path = tmp_path / "wall.json"
+        merge_wallclock_file(path, wallclock_key("gpu", "hec", "sort", 0), self._entry(1.0))
+        merge_wallclock_file(path, wallclock_key("cpu", "hec", "sort", 0), self._entry(2.0))
+        merge_wallclock_file(path, wallclock_key("gpu", "hem", "sort", 0), self._entry(3.0))
+        doc = json.loads(path.read_text())
+        assert set(doc["configs"]) == {"gpu:hec:sort:s0", "cpu:hec:sort:s0", "gpu:hem:sort:s0"}
+
+    def test_merge_adopts_legacy_schema1(self, tmp_path):
+        import json
+
+        from repro.bench import merge_wallclock_file, wallclock_key, wallclock_reference
+
+        path = tmp_path / "wall.json"
+        legacy = self._entry(0.19)  # schema-1: one top-level config dict
+        path.write_text(json.dumps(legacy))
+        # the legacy file gates its own key before any migration
+        assert wallclock_reference(legacy, "gpu:hec:sort:s0") is legacy
+        assert wallclock_reference(legacy, "cpu:hec:sort:s0") is None
+        merge_wallclock_file(path, wallclock_key("cpu", "hec", "sort", 0), self._entry(2.0))
+        doc = json.loads(path.read_text())
+        assert doc["configs"]["gpu:hec:sort:s0"]["per_graph_best_sum_s"] == 0.19
+        assert doc["configs"]["cpu:hec:sort:s0"]["per_graph_best_sum_s"] == 2.0
+
+    def test_replace_same_key(self, tmp_path):
+        import json
+
+        from repro.bench import merge_wallclock_file
+
+        path = tmp_path / "wall.json"
+        merge_wallclock_file(path, "gpu:hec:sort:s0", self._entry(1.0))
+        merge_wallclock_file(path, "gpu:hec:sort:s0", self._entry(9.0))
+        doc = json.loads(path.read_text())
+        assert doc["configs"]["gpu:hec:sort:s0"]["per_graph_best_sum_s"] == 9.0
+
+    def test_parallel_runs_gate_against_their_own_key(self):
+        from repro.bench import wallclock_key
+
+        assert wallclock_key("gpu", "hec", "sort", 0) == "gpu:hec:sort:s0"
+        assert wallclock_key("gpu", "hec", "sort", 0, jobs=1) == "gpu:hec:sort:s0"
+        assert wallclock_key("gpu", "hec", "sort", 0, jobs=2) == "gpu:hec:sort:s0:j2"

@@ -17,6 +17,7 @@ from repro.coarsen import (
     match_leaves,
     match_relatives,
     match_twins,
+    match_twins_reference,
     mis2_coarsen,
     mtmetis_coarsen,
     validate_mapping,
@@ -267,3 +268,114 @@ class TestGOSH:
         mp = gosh_coarsen(grid6, gpu_space(1))
         # on a low-skew grid no hub exists, so clusters stay small
         assert mp.aggregate_sizes().max() <= _ABSORB_CAP * mp.stats["rounds"] + 1
+
+
+class TestTwoHopVectorizedEquivalence:
+    """The vectorised two-hop kernels must be bit-identical to the loop
+
+    references: same matching array, same pair-id counter, same matched
+    count, same ledger charges -- for any seed and interleave."""
+
+    def _prematch(self, g, seed, frac=7):
+        rng = np.random.default_rng(seed)
+        m = np.full(g.n, UNMAPPED, dtype=VI)
+        pre = rng.choice(g.n, size=g.n // frac + 1, replace=False)
+        m[pre] = np.arange(len(pre), dtype=VI)
+        return m
+
+    def _run_both(self, g, m0, fast, reference):
+        outs = []
+        for fn in (fast, reference):
+            m = m0.copy()
+            counter = np.zeros(1, dtype=VI)
+            space = serial_space()
+            count = fn(g, m, counter, space)
+            outs.append((count, m, counter.copy(), space.ledger.total()))
+        return outs
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_twins_bit_identical_random(self, seed):
+        g = random_connected(300, 260, seed=seed)
+        m0 = self._prematch(g, seed)
+        (c1, m1, k1, l1), (c2, m2, k2, l2) = self._run_both(
+            g, m0, match_twins, match_twins_reference
+        )
+        assert c1 == c2
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(k1, k2)
+        assert l1 == l2
+
+    def test_twins_bit_identical_star(self):
+        # every leaf of a star is a twin of every other leaf: one big
+        # group, paired greedily in candidate order
+        g = star_graph(41)
+        m0 = np.full(g.n, UNMAPPED, dtype=VI)
+        m0[0] = 0
+        (c1, m1, k1, l1), (c2, m2, k2, l2) = self._run_both(
+            g, m0, match_twins, match_twins_reference
+        )
+        assert c1 == c2 == 40
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(k1, k2)
+        assert l1 == l2
+
+    def test_twins_mixed_degree_groups(self):
+        # two twin groups of different degree plus non-twin fillers
+        g = from_edge_list(
+            8,
+            [0, 0, 1, 1, 0, 0, 0, 6],
+            [2, 3, 2, 3, 4, 5, 6, 7],
+        )
+        m0 = np.full(8, UNMAPPED, dtype=VI)
+        m0[0], m0[1] = 0, 1
+        (c1, m1, k1, _), (c2, m2, k2, _) = self._run_both(
+            g, m0, match_twins, match_twins_reference
+        )
+        assert c1 == c2
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(k1, k2)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pair_by_key_bit_identical(self, seed):
+        from repro.coarsen.twohop import _pair_by_key, _pair_by_key_reference
+
+        rng = np.random.default_rng(seed)
+        n = 400
+        cand = np.arange(n, dtype=VI)
+        rng.shuffle(cand)
+        keys = rng.integers(0, 60, size=n).astype(VI)  # many duplicate runs
+        outs = []
+        for fn in (_pair_by_key, _pair_by_key_reference):
+            m = np.full(n, UNMAPPED, dtype=VI)
+            counter = np.zeros(1, dtype=VI)
+            outs.append((fn(cand.copy(), keys.copy(), m, counter), m, counter.copy()))
+        (c1, m1, k1), (c2, m2, k2) = outs
+        assert c1 == c2 > 0
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(k1, k2)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_leaves_and_relatives_still_greedy(self, seed):
+        # match_leaves/match_relatives route through the vectorised
+        # _pair_by_key; cross-check them against the loop pairing
+        from repro.coarsen import twohop
+
+        g = random_connected(200, 60, seed=seed)
+        m0 = np.full(g.n, UNMAPPED, dtype=VI)
+        results = []
+        for pairer in (twohop._pair_by_key, twohop._pair_by_key_reference):
+            orig = twohop._pair_by_key
+            twohop._pair_by_key = pairer
+            try:
+                m = m0.copy()
+                counter = np.zeros(1, dtype=VI)
+                space = serial_space()
+                n_leaves = match_leaves(g, m, counter, space)
+                n_rel = match_relatives(g, m, counter, space)
+                results.append((n_leaves, n_rel, m, counter.copy()))
+            finally:
+                twohop._pair_by_key = orig
+        (a1, b1, m1, k1), (a2, b2, m2, k2) = results
+        assert (a1, b1) == (a2, b2)
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(k1, k2)
