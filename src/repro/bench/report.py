@@ -237,9 +237,24 @@ _PARTITION_COLUMNS = [
 ]
 
 
+#: exit status when a session completed but quarantined at least one task
+EXIT_QUARANTINED = 3
+
+
+def _had_faults(summary: dict) -> bool:
+    return bool(
+        summary.get("retries")
+        or summary.get("crashes")
+        or summary.get("hangs")
+        or summary.get("quarantined")
+        or summary.get("resumed")
+        or summary.get("degradations")
+    )
+
+
 def _emit(rows: list[dict], columns, title: str, args, summary: dict | None = None) -> int:
     print(format_table(rows, columns, title))
-    if summary is not None and summary.get("jobs", 1) > 1:
+    if summary is not None and (summary.get("jobs", 1) > 1 or _had_faults(summary)):
         from ..parallel.pool import format_pool_summary
 
         print(format_pool_summary(summary))
@@ -248,6 +263,10 @@ def _emit(rows: list[dict], columns, title: str, args, summary: dict | None = No
         write_results(rows, args.trace_dir)
         print(f"wrote {sum(p is not None for p in written)} trace(s) + "
               f"results.json to {args.trace_dir}")
+    if summary is not None and summary.get("quarantined"):
+        print(f"ERROR: {summary['quarantined']} task(s) quarantined after "
+              "retries were exhausted (see FAILED lines above)")
+        return EXIT_QUARANTINED
     return 0
 
 
@@ -275,11 +294,23 @@ def _task_from_args(kind: str, graph: str, args, **overrides):
     )
 
 
+def _run_session(tasks, args):
+    """Fan tasks out through the fault-tolerant session layer."""
+    from ..parallel.session import run_session
+
+    return run_session(
+        tasks,
+        jobs=_resolve_jobs(args),
+        session_dir=getattr(args, "resume", None),
+        retries=getattr(args, "retries", 2),
+        task_timeout=getattr(args, "task_timeout", None),
+        validate_corpus=getattr(args, "validate_corpus", False),
+    )
+
+
 def _run_tasks(tasks, args):
     """Run tasks serially or through the worker pool, per ``--jobs``."""
-    from ..parallel.pool import run_experiments
-
-    out = run_experiments(tasks, jobs=_resolve_jobs(args))
+    out = _run_session(tasks, args)
     return out.results, out.summary
 
 
@@ -314,16 +345,20 @@ def _cmd_corpus_wallclock(args) -> int:
     entry — the CI gate for the vectorized kernels, on both the serial
     and the parallel path.
     """
-    from ..generators.corpus import CORPUS
-    from ..parallel.pool import format_pool_summary, run_experiments
+    from ..parallel.pool import format_pool_summary
 
     jobs = _resolve_jobs(args)
     tasks = [
         _task_from_args("coarsen", spec.name, args, wallclock=True,
                         reps=args.reps, warmup=args.warmup)
-        for spec in CORPUS
+        for spec in _corpus_specs(args)
     ]
-    out = run_experiments(tasks, jobs=jobs)
+    out = _run_session(tasks, args)
+    if out.failed:
+        print(format_pool_summary(out.summary))
+        print(f"ERROR: {len(out.failed)} wall-clock task(s) quarantined; "
+              "not writing a partial baseline")
+        return EXIT_QUARANTINED
     times = {r["graph"]: r["times"] for r in out.results}
     best = {name: min(ts) for name, ts in times.items()}
     med = {name: median(ts) for name, ts in times.items()}
@@ -349,7 +384,7 @@ def _cmd_corpus_wallclock(args) -> int:
           f"median-sum {entry['per_graph_median_sum_s']:.4f} s  "
           f"(suite wall {entry['suite_wall_s']:.4f} s, jobs {jobs}, "
           f"{args.reps} reps + {args.warmup} warmup)")
-    if jobs > 1:
+    if jobs > 1 or _had_faults(out.summary):
         print(format_pool_summary(out.summary))
     if args.wallclock_out is not None:
         merge_wallclock_file(args.wallclock_out, key, entry)
@@ -370,17 +405,47 @@ def _cmd_corpus_wallclock(args) -> int:
     return 0
 
 
-def _cmd_corpus(args) -> int:
+def _corpus_specs(args):
+    """The corpus rows selected by ``--graphs`` (default: all 20)."""
     from ..generators.corpus import CORPUS
 
+    names = getattr(args, "graphs", None)
+    if not names:
+        return CORPUS
+    want = [n.strip() for n in names.split(",") if n.strip()]
+    known = {s.name for s in CORPUS}
+    unknown = [n for n in want if n not in known]
+    if unknown:
+        raise SystemExit(f"unknown corpus graph(s) {unknown}; known: {sorted(known)}")
+    keep = set(want)
+    return [s for s in CORPUS if s.name in keep]
+
+
+def _cmd_corpus(args) -> int:
     if args.wallclock:
         return _cmd_corpus_wallclock(args)
 
-    tasks = [_task_from_args("coarsen", spec.name, args) for spec in CORPUS]
+    tasks = [_task_from_args("coarsen", spec.name, args) for spec in _corpus_specs(args)]
     rows, summary = _run_tasks(tasks, args)
     title = (f"corpus coarsening on {args.machine} "
              f"({args.coarsener}+{args.constructor}, seed {args.seed})")
     return _emit(rows, _COARSEN_COLUMNS, title, args, summary)
+
+
+def _cmd_gc_shm(args) -> int:
+    from ..parallel import shm as shm_lifecycle
+
+    segments = shm_lifecycle.list_segments()
+    removed = shm_lifecycle.sweep_stale()
+    kept = [s for s in segments if s["name"] not in set(removed)]
+    for name in removed:
+        print(f"unlinked stale segment {name}")
+    for seg in kept:
+        print(f"kept {seg['name']} ({seg['bytes']} bytes, "
+              f"owner pid {seg['pid']} alive)")
+    print(f"gc-shm: removed {len(removed)} stale segment(s), "
+          f"kept {len(kept)} live")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -392,6 +457,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--trace-dir", type=Path, default=None,
                     help="write per-run trace JSON + results.json here")
+    ap.add_argument("--faults", default=None, metavar="SPEC",
+                    help="arm deterministic fault injection (see "
+                         "repro.faultinject; e.g. 'pool.worker:crash:"
+                         "attempt<1,graph=ppa'); equivalent to REPRO_FAULTS")
     sub = ap.add_subparsers(dest="command", required=True)
 
     def common(p, partition=False):
@@ -405,6 +474,21 @@ def main(argv: list[str] | None = None) -> int:
                        help="worker processes (default 1 = serial in-process; "
                             "0 = every usable core); results are bitwise "
                             "identical to a serial run at any value")
+        p.add_argument("--retries", type=int, default=2,
+                       help="retry a failed/crashed/hung task this many times "
+                            "before quarantining it (default 2)")
+        p.add_argument("--resume", type=Path, default=None, metavar="DIR",
+                       help="session directory holding the fsynced journal; "
+                            "pass the same directory again to resume an "
+                            "interrupted run (completed tasks replay from the "
+                            "journal, the rest are scheduled)")
+        p.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="kill and retry any single task running longer "
+                            "than this (hang detection; default: off)")
+        p.add_argument("--validate-corpus", action="store_true",
+                       help="structurally validate every corpus graph "
+                            "(CSR layout, symmetry, weights) before running")
         if partition:
             p.add_argument("--refinement", choices=("spectral", "fm"),
                            default="spectral")
@@ -419,6 +503,9 @@ def main(argv: list[str] | None = None) -> int:
 
     p_all = sub.add_parser("corpus", help="coarsening across all 20 corpus graphs")
     common(p_all)
+    p_all.add_argument("--graphs", default=None, metavar="NAMES",
+                       help="comma-separated subset of corpus graph names "
+                            "(default: the whole corpus)")
     p_all.add_argument("--wallclock", action="store_true",
                        help="measure host wall-clock instead of printing "
                             "the simulated-seconds table")
@@ -435,7 +522,22 @@ def main(argv: list[str] | None = None) -> int:
                        help="allowed relative slowdown of the per-graph-best "
                             "sum vs the reference (default 0.30)")
 
+    sub.add_parser(
+        "gc-shm",
+        help="unlink stale repro-* shared-memory segments whose owning "
+             "process is dead (orphans of SIGKILL'd sessions)",
+    )
+
     args = ap.parse_args(argv)
+    if args.faults:
+        from .. import faultinject
+
+        faultinject.install(args.faults)
+    if args.command == "gc-shm":
+        return _cmd_gc_shm(args)
+    from ..parallel import shm as shm_lifecycle
+
+    shm_lifecycle.install_signal_cleanup()
     return {"coarsen": _cmd_coarsen, "partition": _cmd_partition,
             "corpus": _cmd_corpus}[args.command](args)
 

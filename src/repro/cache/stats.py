@@ -33,6 +33,7 @@ class CacheStats:
     quarantines: int = 0  #: entries moved into quarantine/
     migrations: int = 0  #: valid legacy-format entries adopted in place
     evictions: int = 0  #: entries removed by gc size capping
+    store_failures: int = 0  #: entry writes that failed (run degraded on)
     bytes_written: int = 0
     bytes_read: int = 0
     generation_seconds: float = 0.0

@@ -26,9 +26,12 @@ import hashlib
 import json
 import os
 import time
+import warnings
 import zipfile
 from pathlib import Path
 from typing import Callable
+
+from .. import faultinject
 
 from .atomic import atomic_write_bytes, is_temp_file
 from .lock import FileLock
@@ -164,6 +167,7 @@ class ArtifactCache:
         *,
         ext: str = ".npz",
         legacy_glob: str | None = None,
+        adopt_check: Callable[[object], None] | None = None,
     ):
         """Return the cached artifact for ``key``, healing as needed.
 
@@ -176,6 +180,15 @@ class ArtifactCache:
         :func:`repro.cache.atomic.atomic_write`); the sidecar is written
         after the data file so a crash between the two self-heals as a
         "missing sidecar" on the next read.
+
+        ``adopt_check`` deep-validates a legacy artifact *before* it is
+        adopted (legacy entries carry no fingerprint, so a structural
+        check is the only defence against corrupt-but-loadable files);
+        any exception it raises quarantines the candidate instead.
+
+        A failing store (e.g. disk full) degrades instead of killing the
+        caller: the freshly generated object is returned, the failure is
+        counted (``store_failures``), and the next load regenerates.
         """
         delta = CacheStats()
         obj = self._try_load(key, fingerprint, load, ext, delta)
@@ -194,7 +207,7 @@ class ArtifactCache:
             if legacy_glob is not None:
                 before_corrupt = delta.corruptions
                 obj = self._adopt_or_quarantine_legacy(
-                    key, fingerprint, load, ext, legacy_glob, delta
+                    key, fingerprint, load, ext, legacy_glob, delta, adopt_check
                 )
                 if obj is not None:
                     self._stats.add(delta)
@@ -206,7 +219,15 @@ class ArtifactCache:
             t0 = time.perf_counter()
             obj = generate()
             delta.generation_seconds += time.perf_counter() - t0
-            self._store(key, fingerprint, obj, save, ext, delta)
+            try:
+                self._store(key, fingerprint, obj, save, ext, delta)
+            except OSError as e:
+                delta.store_failures += 1
+                warnings.warn(
+                    f"cache store of {key!r} failed ({e}); continuing uncached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             delta.misses += 1
             if had_entry:
                 delta.regenerations += 1
@@ -252,12 +273,15 @@ class ArtifactCache:
         delta.quarantines += len(self.quarantine(data, meta))
         return True
 
-    def _adopt_or_quarantine_legacy(self, key, fingerprint, load, ext, legacy_glob, delta):
+    def _adopt_or_quarantine_legacy(
+        self, key, fingerprint, load, ext, legacy_glob, delta, adopt_check=None
+    ):
         """Handle pre-cache-era files: adopt if loadable, else quarantine.
 
         Legacy entries predate sidecars, so their parameters cannot be
         fingerprint-checked — adoption trusts that a cleanly-loading
-        legacy artifact was built by the same generator code.
+        legacy artifact was built by the same generator code, subject to
+        the caller's ``adopt_check`` deep validation when provided.
         """
         data = self.data_path(key, ext)
         adopted = None
@@ -274,6 +298,14 @@ class ArtifactCache:
                 delta.quarantines += 1
                 self.quarantine(p)
                 continue
+            if adopt_check is not None:
+                try:
+                    adopt_check(obj)
+                except Exception:  # corrupt-but-loadable: structural defects
+                    delta.corruptions += 1
+                    delta.quarantines += 1
+                    self.quarantine(p)
+                    continue
             os.replace(p, data)
             self._write_sidecar(key, fingerprint, ext, generation_seconds=0.0)
             delta.migrations += 1
@@ -282,6 +314,7 @@ class ArtifactCache:
         return adopted
 
     def _store(self, key, fingerprint, obj, save, ext, delta: CacheStats) -> None:
+        faultinject.fire("cache.store", key=key)
         data = self.data_path(key, ext)
         self.root.mkdir(parents=True, exist_ok=True)
         save(obj, data)

@@ -5,6 +5,7 @@ from .components import connected_components, is_connected, largest_component
 from .graph import CSRGraph
 from .io import load_npz, read_edge_list, read_matrix_market, save_npz, write_matrix_market
 from .ops import degree_histogram, induced_subgraph, laplacian_csr, permute, validate
+from .validation import GraphValidationError, find_defects
 
 __all__ = [
     "CSRGraph",
@@ -26,4 +27,6 @@ __all__ = [
     "laplacian_csr",
     "degree_histogram",
     "validate",
+    "GraphValidationError",
+    "find_defects",
 ]

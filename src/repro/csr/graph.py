@@ -200,9 +200,25 @@ class CSRGraph:
         """Sum of vertex weights (invariant across coarsening levels)."""
         return float(self.vwgts.sum())
 
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.csr.validation.GraphValidationError` on defects.
+
+        Checks the full graph model: monotonic ``xadj``, in-range and
+        sorted adjacency rows, symmetry, no self-loops, finite positive
+        weights.  The raised error carries structured ``findings`` (one
+        dict per violated invariant); use
+        :func:`repro.csr.validation.find_defects` to collect them without
+        raising.
+        """
+        from .validation import validate_graph
+
+        validate_graph(self)
+
     # -- shared memory ---------------------------------------------------------
 
-    def to_shared(self) -> tuple[dict, object]:
+    def to_shared(self, name: str | None = None) -> tuple[dict, object]:
         """Publish the four CSR arrays into one shared-memory block.
 
         Returns ``(descriptor, shm)``: the descriptor is a small
@@ -210,7 +226,9 @@ class CSRGraph:
         worker processes pass to :meth:`from_shared` to map the arrays
         zero-copy; ``shm`` is the owning handle — the caller keeps it
         alive while workers run and ``close()``/``unlink()``s it when the
-        fan-out is done.  The graph itself is not modified.
+        fan-out is done.  The graph itself is not modified.  ``name``
+        optionally fixes the segment name (the pool uses sweepable
+        ``repro-<pid>-<seq>`` names, see :mod:`repro.parallel.shm`).
         """
         from multiprocessing import shared_memory
 
@@ -222,13 +240,18 @@ class CSRGraph:
                 {"field": fname, "dtype": a.dtype.str, "count": len(a), "offset": offset}
             )
             offset += a.nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for spec in layout:
-            a = getattr(self, spec["field"])
-            view = np.frombuffer(
-                shm.buf, dtype=a.dtype, count=spec["count"], offset=spec["offset"]
-            )
-            view[:] = a
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1), name=name)
+        try:
+            for spec in layout:
+                a = getattr(self, spec["field"])
+                view = np.frombuffer(
+                    shm.buf, dtype=a.dtype, count=spec["count"], offset=spec["offset"]
+                )
+                view[:] = a
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
         descriptor = {
             "shm": shm.name,
             "graph_name": self.name,

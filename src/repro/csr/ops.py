@@ -84,42 +84,14 @@ def degree_histogram(g: CSRGraph) -> np.ndarray:
 
 
 def validate(g: CSRGraph) -> None:
-    """Raise ``ValueError`` if ``g`` violates the paper's graph model.
+    """Raise if ``g`` violates the paper's graph model.
 
-    Checks: monotone row pointers, in-range neighbour ids, no self-loops,
-    no duplicate edges within a row, strictly positive edge weights, and
-    symmetry (edge stored at both endpoints with equal weight).
+    Delegates to :func:`repro.csr.validation.validate_graph`: the raised
+    :class:`~repro.csr.validation.GraphValidationError` (a ``ValueError``)
+    carries one structured finding per violated invariant — monotone row
+    pointers, in-range neighbour ids, sorted rows, no self-loops, no
+    duplicate edges, finite positive weights, and symmetry.
     """
-    n, xadj, adjncy, ewgts = g.n, g.xadj, g.adjncy, g.ewgts
-    if xadj[0] != 0 or xadj[-1] != len(adjncy):
-        raise ValueError("xadj endpoints inconsistent with adjncy length")
-    if np.any(np.diff(xadj) < 0):
-        raise ValueError("xadj not monotone")
-    if len(adjncy) != len(ewgts):
-        raise ValueError("adjncy/ewgts length mismatch")
-    if len(g.vwgts) != n:
-        raise ValueError("vwgts length mismatch")
-    if len(adjncy) == 0:
-        return
-    if adjncy.min() < 0 or adjncy.max() >= n:
-        raise ValueError("neighbour id out of range")
-    if np.any(ewgts <= 0):
-        raise ValueError("non-positive edge weight")
-    src = g.edge_sources()
-    if np.any(src == adjncy):
-        raise ValueError("self-loop present")
-    # duplicates within a row: sort (src, dst) pairs and look for equal runs
-    order = np.lexsort((adjncy, src))
-    s, d = src[order], adjncy[order]
-    dup = (s[1:] == s[:-1]) & (d[1:] == d[:-1])
-    if np.any(dup):
-        raise ValueError("duplicate edge within a row")
-    # symmetry: the multiset of (src,dst,w) equals the multiset of (dst,src,w)
-    w = ewgts[order]
-    order_t = np.lexsort((s, d))
-    if not (
-        np.array_equal(s, d[order_t])
-        and np.array_equal(d, s[order_t])
-        and np.allclose(w, w[order_t])
-    ):
-        raise ValueError("graph is not symmetric with matching weights")
+    from .validation import validate_graph
+
+    validate_graph(g)

@@ -1,0 +1,152 @@
+"""Structural validation of CSR graphs with structured findings.
+
+A corrupt-but-checksum-valid graph (bad generator, adopted legacy file,
+bit-rot that slipped past the cache) must fail *loudly* before it
+produces garbage coarsenings.  :func:`find_defects` checks every
+invariant of the paper's graph model and returns one structured finding
+per violated invariant; :func:`validate_graph` raises them as a single
+:class:`GraphValidationError` whose ``findings`` list is machine-readable
+(the bench CLI prints it, tests assert on codes).
+
+Invariants checked, in order:
+
+* ``indptr``: ``xadj[0] == 0``, monotonically non-decreasing,
+  ``xadj[-1] == len(adjncy)``; array lengths agree.
+* indices: every neighbour id in ``[0, n)``.
+* rows: sorted strictly ascending (implies no duplicate edges).
+* no self-loops.
+* symmetry: each stored ``(u, v, w)`` has a matching ``(v, u, w)``.
+* weights: edge weights strictly positive and finite; vertex weights
+  strictly positive and finite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GraphValidationError", "find_defects", "validate_graph"]
+
+
+class GraphValidationError(ValueError):
+    """A graph violated the model; ``findings`` lists every defect."""
+
+    def __init__(self, findings: list[dict], name: str = ""):
+        self.findings = findings
+        label = f" {name!r}" if name else ""
+        detail = "; ".join(f["message"] for f in findings)
+        super().__init__(f"invalid graph{label}: {detail}")
+
+
+def _finding(code: str, message: str, **detail) -> dict:
+    return {"code": code, "message": message, **detail}
+
+
+def find_defects(g) -> list[dict]:
+    """Every violated invariant of ``g`` as a structured finding list.
+
+    Returns ``[]`` for a valid graph.  Later checks that depend on
+    earlier ones (e.g. symmetry needs in-range indices) are skipped once
+    a prerequisite fails, so the list never contains cascading noise.
+    """
+    findings: list[dict] = []
+    xadj, adjncy, ewgts, vwgts = g.xadj, g.adjncy, g.ewgts, g.vwgts
+    n = len(xadj) - 1
+
+    if len(xadj) == 0 or xadj[0] != 0 or xadj[-1] != len(adjncy):
+        findings.append(_finding(
+            "indptr-endpoints",
+            "xadj endpoints inconsistent with adjncy length",
+            first=int(xadj[0]) if len(xadj) else None,
+            last=int(xadj[-1]) if len(xadj) else None,
+            nnz=len(adjncy),
+        ))
+    if np.any(np.diff(xadj) < 0):
+        bad = int(np.flatnonzero(np.diff(xadj) < 0)[0])
+        findings.append(_finding(
+            "indptr-monotonic", "xadj not monotone (row pointers decrease)",
+            row=bad,
+        ))
+    if len(adjncy) != len(ewgts):
+        findings.append(_finding(
+            "length-mismatch", "adjncy/ewgts length mismatch",
+            adjncy=len(adjncy), ewgts=len(ewgts),
+        ))
+    if len(vwgts) != n:
+        findings.append(_finding(
+            "length-mismatch", "vwgts length mismatch", vwgts=len(vwgts), n=n,
+        ))
+    if findings:
+        return findings  # structural layout broken: nothing below is safe
+
+    # weights are checkable regardless of index sanity
+    if len(ewgts) and (not np.all(np.isfinite(ewgts)) or np.any(ewgts <= 0)):
+        bad = np.flatnonzero(~np.isfinite(ewgts) | (ewgts <= 0))
+        findings.append(_finding(
+            "edge-weight",
+            "non-positive or non-finite edge weight",
+            count=int(len(bad)), first=int(bad[0]),
+        ))
+    if len(vwgts) and (not np.all(np.isfinite(vwgts)) or np.any(vwgts <= 0)):
+        bad = np.flatnonzero(~np.isfinite(vwgts) | (vwgts <= 0))
+        findings.append(_finding(
+            "vertex-weight",
+            "non-positive or non-finite vertex weight",
+            count=int(len(bad)), first=int(bad[0]),
+        ))
+
+    if len(adjncy) == 0:
+        return findings
+    if adjncy.min() < 0 or adjncy.max() >= n:
+        bad = np.flatnonzero((adjncy < 0) | (adjncy >= n))
+        findings.append(_finding(
+            "index-range", "neighbour id out of range",
+            count=int(len(bad)), first=int(bad[0]),
+        ))
+        return findings  # gathers below would index out of bounds
+
+    src = g.edge_sources()
+    if np.any(src == adjncy):
+        bad = np.flatnonzero(src == adjncy)
+        findings.append(_finding(
+            "self-loop", "self-loop present",
+            count=int(len(bad)), vertex=int(src[bad[0]]),
+        ))
+
+    # sorted strictly ascending within each row; equality = duplicate edge
+    same_row = src[1:] == src[:-1]
+    decreasing = same_row & (adjncy[1:] < adjncy[:-1])
+    duplicate = same_row & (adjncy[1:] == adjncy[:-1])
+    if np.any(decreasing):
+        bad = np.flatnonzero(decreasing)
+        findings.append(_finding(
+            "rows-unsorted", "adjacency rows not sorted ascending",
+            count=int(len(bad)), row=int(src[bad[0]]),
+        ))
+    if np.any(duplicate):
+        bad = np.flatnonzero(duplicate)
+        findings.append(_finding(
+            "duplicate-edge", "duplicate edge within a row",
+            count=int(len(bad)), row=int(src[bad[0]]),
+        ))
+
+    # symmetry over possibly-unsorted rows: canonicalise both directions
+    order = np.lexsort((adjncy, src))
+    s, d, w = src[order], adjncy[order], ewgts[order]
+    order_t = np.lexsort((s, d))
+    if not (
+        np.array_equal(s, d[order_t])
+        and np.array_equal(d, s[order_t])
+        and np.allclose(w, w[order_t])
+    ):
+        findings.append(_finding(
+            "asymmetric",
+            "graph is not symmetric with matching weights",
+        ))
+    return findings
+
+
+def validate_graph(g) -> None:
+    """Raise :class:`GraphValidationError` unless ``g`` is a valid model graph."""
+    findings = find_defects(g)
+    if findings:
+        raise GraphValidationError(findings, getattr(g, "name", ""))

@@ -168,6 +168,10 @@ def load(name: str, seed: int = 0, cache: bool = True) -> tuple[CSRGraph, GraphS
         save=save_npz,
         load=load_npz,
         legacy_glob=f"{name}-s{seed}-*.npz",
+        # legacy files carry no fingerprint: deep-validate the structure
+        # before adoption so a corrupt-but-loadable graph is quarantined
+        # instead of producing garbage coarsenings
+        adopt_check=lambda graph: graph.validate(),
     )
     return g, spec
 

@@ -28,6 +28,13 @@ from .primitives import (
     segment_max_index,
     segment_sum,
 )
+from .session import (
+    SessionJournal,
+    SessionMismatch,
+    SessionOutcome,
+    backoff_delay,
+    run_session,
+)
 
 __all__ = [
     "CostLedger",
@@ -49,6 +56,11 @@ __all__ = [
     "format_pool_summary",
     "publish_corpus",
     "run_experiments",
+    "SessionJournal",
+    "SessionMismatch",
+    "SessionOutcome",
+    "backoff_delay",
+    "run_session",
     "cas",
     "fetch_add",
     "atomic_min",

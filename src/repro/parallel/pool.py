@@ -42,7 +42,9 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from .. import faultinject
 from ..csr.graph import CSRGraph
+from . import shm as shm_lifecycle
 
 __all__ = [
     "ExperimentTask",
@@ -115,12 +117,15 @@ class PoolOutcome:
 _DESCRIPTORS: dict = {}
 #: (graph, seed) -> (CSRGraph, GraphSpec): the warm per-worker graph cache
 _WORKER_GRAPHS: dict = {}
+#: degradations this worker performed, drained into each task envelope
+_WORKER_DEGRADATIONS: list = []
 
 
 def _worker_init(descriptors: dict | None) -> None:
     global _DESCRIPTORS
     _DESCRIPTORS = dict(descriptors or {})
     _WORKER_GRAPHS.clear()
+    _WORKER_DEGRADATIONS.clear()
 
 
 def _worker_graph(name: str, seed: int):
@@ -128,18 +133,30 @@ def _worker_graph(name: str, seed: int):
 
     Order: the worker's own cache (reused scratch), the shared-memory
     corpus (zero-copy map), and only then the artifact cache — whose
-    per-entry file lock single-flights any concurrent regeneration.
+    per-entry file lock single-flights any concurrent regeneration.  A
+    failed shared-memory attach (unlinked segment, exhausted maps)
+    degrades to the cache path instead of failing the task; the
+    degradation is reported up through the task envelope.
     """
     cached = _WORKER_GRAPHS.get((name, seed))
     if cached is not None:
         return cached
     from ..generators import corpus
 
+    g = spec = None
     desc = _DESCRIPTORS.get((name, seed))
     if desc is not None:
-        g = CSRGraph.from_shared(desc)
-        spec = corpus._BY_NAME.get(name)
-    else:
+        try:
+            faultinject.fire("shm.attach", graph=name)
+            g = CSRGraph.from_shared(desc)
+            spec = corpus._BY_NAME.get(name)
+        except OSError as e:
+            _WORKER_DEGRADATIONS.append(
+                {"site": "shm.attach", "action": "cache-load",
+                 "graph": name, "error": str(e)}
+            )
+            g = None
+    if g is None:
         g, spec = corpus.load(name, seed)
     _WORKER_GRAPHS[(name, seed)] = (g, spec)
     return g, spec
@@ -188,15 +205,22 @@ def _execute(task: ExperimentTask) -> dict:
     return row
 
 
-def _run_task(task: ExperimentTask) -> dict:
+def _run_task(task: ExperimentTask, attempt: int = 0) -> dict:
+    faultinject.fire(
+        "pool.worker", key=task.key(), graph=task.graph, attempt=attempt
+    )
     t0 = time.perf_counter()
     row = _execute(task)
-    return {
+    out = {
         "key": task.key(),
         "pid": os.getpid(),
         "wall_s": time.perf_counter() - t0,
         "row": row,
     }
+    if _WORKER_DEGRADATIONS:
+        out["degraded"] = list(_WORKER_DEGRADATIONS)
+        _WORKER_DEGRADATIONS.clear()
+    return out
 
 
 # ------------------------------------------------------------- parent side
@@ -209,7 +233,12 @@ def publish_corpus(pairs: Iterable[tuple[str, int]], *, loader=None):
     single-flight guard against another process generating the same
     graph concurrently.  Returns ``(descriptors, handles, sizes)``;
     the caller owns the handles and must ``close()``/``unlink()`` them
-    after the fan-out completes.
+    after the fan-out completes (:func:`_release` does both).
+
+    Segments are named ``repro-<pid>-<seq>`` and registered with the
+    :mod:`repro.parallel.shm` live registry, so any exit path short of
+    SIGKILL unlinks them via atexit, and a SIGKILL'd parent's orphans
+    are collectable by ``python -m repro.bench gc-shm``.
     """
     if loader is None:
         from ..generators.corpus import load as loader  # noqa: PLW0127
@@ -217,10 +246,23 @@ def publish_corpus(pairs: Iterable[tuple[str, int]], *, loader=None):
     descriptors: dict = {}
     handles: list = []
     sizes: dict = {}
+    names = shm_lifecycle.segment_names()
     try:
         for name, seed in dict.fromkeys(pairs):
+            faultinject.fire("shm.publish", graph=name)
             g, _spec = loader(name, seed)
-            desc, shm = g.to_shared()
+            desc = shm = None
+            for _ in range(16):
+                try:
+                    desc, shm = g.to_shared(name=next(names))
+                    break
+                except FileExistsError:
+                    # stale segment from a dead pid-reusing predecessor:
+                    # sweep what is collectable and try the next name
+                    shm_lifecycle.sweep_stale()
+            if shm is None:  # pragma: no cover - 16 live collisions
+                desc, shm = g.to_shared()
+            shm_lifecycle.register(shm)
             descriptors[(name, seed)] = desc
             handles.append(shm)
             sizes[(name, seed)] = g.size_measure
@@ -237,6 +279,8 @@ def _release(handles: Sequence) -> None:
             shm.unlink()
         except OSError:  # pragma: no cover - already gone
             pass
+        finally:
+            shm_lifecycle.unregister(shm)
 
 
 def _check_unique(tasks: Sequence[ExperimentTask]) -> None:
@@ -387,7 +431,13 @@ def _terminate(executor: ProcessPoolExecutor) -> None:
 
 
 def format_pool_summary(summary: dict) -> str:
-    """Human-readable session summary: per-worker utilization + overhead."""
+    """Human-readable session summary: per-worker utilization + overhead.
+
+    Fault-tolerant sessions add a recovery line (retries, worker
+    crashes, hang kills, quarantined tasks, resumed-from-journal count)
+    and one line per degradation, so a run that survived faults says so
+    instead of looking like a clean one.
+    """
     wall = summary["wall_s"]
     lines = [
         f"pool  {summary['jobs']} worker(s), {summary['tasks']} task(s), "
@@ -410,4 +460,24 @@ def format_pool_summary(summary: dict) -> str:
         f"  (speedup x{summary['busy_s'] / wall if wall > 0 else math.nan:.2f}"
         " vs serial busy time)"
     )
+    recovery = [
+        f"{label} {summary[key]}"
+        for key, label in (
+            ("retries", "retries"),
+            ("crashes", "crashes"),
+            ("hangs", "hangs"),
+            ("quarantined", "quarantined"),
+            ("resumed", "resumed"),
+        )
+        if summary.get(key)
+    ]
+    if recovery:
+        lines.append("  recovery  " + "  ".join(recovery))
+    for d in summary.get("degradations", ()):
+        what = f" ({d['error']})" if d.get("error") else ""
+        lines.append(f"  degraded  {d['site']} -> {d['action']}{what}")
+    for f in summary.get("failed", ()):
+        lines.append(
+            f"  FAILED  {f['key']}  after {f['attempts']} attempt(s): {f['error']}"
+        )
     return "\n".join(lines)
