@@ -13,14 +13,46 @@ import numpy as np
 
 from ..coarsen.multilevel import coarsen_multilevel
 from ..csr.graph import CSRGraph
+from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace, cpu_space, gpu_space
 from ..parallel.memory import MemoryTracker, SimulatedOOM
+from ..partition.kway import kway_from_hierarchy
 from ..partition.multilevel import multilevel_bisect
 from ..generators.corpus import GraphSpec, load, memory_scale
 from ..generators import corpus as _corpus
 from ..trace import Tracer
+from ..trace.tape import Tape
 
-__all__ = ["space_for", "run_coarsening", "run_partition", "corpus_graph", "cache_stats"]
+__all__ = [
+    "space_for",
+    "run_coarsening",
+    "run_partition",
+    "run_partition_kway",
+    "run_cluster",
+    "corpus_graph",
+    "cache_stats",
+]
+
+
+def _reused_hierarchy(reuse, space, tracker):
+    """Resolve a hierarchy-reuse handle into ``(hierarchy, tape)``.
+
+    ``reuse`` follows the serving registry's protocol — ``get()``
+    returning ``(hierarchy, tape)`` or ``None``, and ``put(hierarchy,
+    tape)`` after a fresh build.  On a hit the recorded tape is replayed
+    into this run's space/tracker so the charges, spans, memory peak,
+    and RNG position match a from-scratch run bitwise; the runner then
+    skips coarsening.  On a miss a fresh recording tape is returned for
+    the build.
+    """
+    if reuse is None:
+        return None, None
+    cached = reuse.get()
+    if cached is not None:
+        hierarchy, tape = cached
+        tape.replay(space, tracker)
+        return hierarchy, None
+    return None, Tape()
 
 
 def space_for(machine: str, seed: int = 0) -> ExecSpace:
@@ -69,6 +101,7 @@ def run_coarsening(
     constructor: str = "sort",
     seed: int = 0,
     oom: bool = True,
+    reuse=None,
 ) -> dict:
     """One multilevel coarsening run; returns Table II/III/IV quantities.
 
@@ -94,9 +127,14 @@ def run_coarsening(
         "seed": seed,
     }
     try:
-        hierarchy = coarsen_multilevel(
-            g, space, coarsener=coarsener, constructor=constructor, tracker=tracker
-        )
+        hierarchy, tape = _reused_hierarchy(reuse, space, tracker)
+        if hierarchy is None:
+            hierarchy = coarsen_multilevel(
+                g, space, coarsener=coarsener, constructor=constructor,
+                tracker=tracker, tape=tape,
+            )
+            if tape is not None:
+                reuse.put(hierarchy, tape)
     except SimulatedOOM:
         return {**base, "oom": True, "total_s": None, "construction_s": None,
                 "mapping_s": None, "levels": None, "cr": None,
@@ -135,6 +173,7 @@ def run_partition(
     refinement: str = "spectral",
     seed: int = 0,
     oom: bool = True,
+    reuse=None,
 ) -> dict:
     """One multilevel bisection run; returns Table V/VI quantities.
 
@@ -157,6 +196,7 @@ def run_partition(
         "seed": seed,
     }
     try:
+        hierarchy, tape = _reused_hierarchy(reuse, space, tracker)
         res = multilevel_bisect(
             g,
             space,
@@ -164,7 +204,11 @@ def run_partition(
             constructor=constructor,
             refinement=refinement,
             tracker=tracker,
+            hierarchy=hierarchy,
+            tape=tape,
         )
+        if tape is not None:
+            reuse.put(res.hierarchy, tape)
     except SimulatedOOM:
         return {**base, "oom": True, "cut": None, "total_s": None, "coarsen_pct": None,
                 "peak_mem": tracker.peak, "trace": tracer.close()}
@@ -190,5 +234,150 @@ def run_partition(
         "levels": res.levels,
         "peak_mem": tracker.peak,
         "result": res,
+        "trace": tracer,
+    }
+
+
+def run_partition_kway(
+    g: CSRGraph,
+    spec: GraphSpec | None = None,
+    *,
+    machine: str = "gpu",
+    coarsener: str = "hec",
+    constructor: str = "sort",
+    k: int = 2,
+    seed: int = 0,
+    oom: bool = True,
+    reuse=None,
+) -> dict:
+    """k-way partition via spectral quantiles + greedy refinement.
+
+    The serving daemon's k-sweep workhorse: with a ``reuse`` handle the
+    hierarchy is coarsened at most once across every k.  No batch-table
+    counterpart exists (the paper's case study is bisection), so the
+    result dict stands on its own rather than mirroring Table V/VI.
+    """
+    space = space_for(machine, seed)
+    tracker = _tracker(g, spec, space, coarsener, oom)
+    tracer = Tracer(
+        "run_partition_kway",
+        labels={"kind": "kway", "machine": machine, "coarsener": coarsener,
+                "constructor": constructor, "refinement": f"greedy-k{k}",
+                "graph": g.name, "seed": seed},
+    ).attach(space)
+    base = {
+        "graph": g.name,
+        "machine": machine,
+        "coarsener": coarsener,
+        "k": k,
+        "seed": seed,
+    }
+    try:
+        hierarchy, tape = _reused_hierarchy(reuse, space, tracker)
+        if hierarchy is None:
+            hierarchy = coarsen_multilevel(
+                g, space, coarsener=coarsener, constructor=constructor,
+                tracker=tracker, tape=tape,
+            )
+            if tape is not None:
+                reuse.put(hierarchy, tape)
+        part, stats = kway_from_hierarchy(g, hierarchy, k, space)
+    except SimulatedOOM:
+        return {**base, "oom": True, "cut": None, "total_s": None,
+                "peak_mem": tracker.peak, "trace": tracer.close()}
+    finally:
+        tracer.close()
+    mach = space.machine
+    coarsen_s = sum(
+        mach.phase_seconds(space.ledger, p)
+        for p in ("mapping", "construction", "transfer")
+    )
+    total_s = coarsen_s + sum(
+        mach.phase_seconds(space.ledger, p) for p in ("initial", "refinement")
+    )
+    return {
+        **base,
+        "oom": False,
+        "cut": stats["cut"],
+        "imbalance": stats["imbalance"],
+        "total_s": total_s,
+        "coarsen_s": coarsen_s,
+        "levels": hierarchy.levels,
+        "peak_mem": tracker.peak,
+        "part": part,
+        "trace": tracer,
+    }
+
+
+def run_cluster(
+    g: CSRGraph,
+    spec: GraphSpec | None = None,
+    *,
+    machine: str = "gpu",
+    coarsener: str = "hec",
+    constructor: str = "sort",
+    seed: int = 0,
+    oom: bool = True,
+    reuse=None,
+) -> dict:
+    """Multilevel clustering: coarsest vertices become cluster labels.
+
+    Every finest-level vertex is labelled by the coarsest-level vertex
+    it contracted into (the paper's community-detection reading of a
+    hierarchy).  With ``reuse``, the hierarchy is shared with partition
+    requests on the same configuration.
+    """
+    space = space_for(machine, seed)
+    tracker = _tracker(g, spec, space, coarsener, oom)
+    tracer = Tracer(
+        "run_cluster",
+        labels={"kind": "cluster", "machine": machine, "coarsener": coarsener,
+                "constructor": constructor, "graph": g.name, "seed": seed},
+    ).attach(space)
+    base = {
+        "graph": g.name,
+        "machine": machine,
+        "coarsener": coarsener,
+        "seed": seed,
+    }
+    try:
+        hierarchy, tape = _reused_hierarchy(reuse, space, tracker)
+        if hierarchy is None:
+            hierarchy = coarsen_multilevel(
+                g, space, coarsener=coarsener, constructor=constructor,
+                tracker=tracker, tape=tape,
+            )
+            if tape is not None:
+                reuse.put(hierarchy, tape)
+        with space.span("cluster", graph=g.name):
+            labels = hierarchy.project(np.arange(hierarchy.coarsest.n))
+            # one gather per level: x = x[mapping.m]
+            space.ledger.charge(
+                "cluster",
+                KernelCost(
+                    stream_bytes=8.0 * sum(len(m.m) for m in hierarchy.mappings),
+                    launches=max(len(hierarchy.mappings), 1),
+                ),
+            )
+    except SimulatedOOM:
+        return {**base, "oom": True, "clusters": None, "total_s": None,
+                "peak_mem": tracker.peak, "trace": tracer.close()}
+    finally:
+        tracer.close()
+    mach = space.machine
+    coarsen_s = sum(
+        mach.phase_seconds(space.ledger, p)
+        for p in ("mapping", "construction", "transfer")
+    )
+    total_s = coarsen_s + mach.phase_seconds(space.ledger, "cluster")
+    return {
+        **base,
+        "oom": False,
+        "clusters": int(hierarchy.coarsest.n),
+        "levels": hierarchy.levels,
+        "total_s": total_s,
+        "coarsen_s": coarsen_s,
+        "peak_mem": tracker.peak,
+        "labels": labels,
         "trace": tracer,
     }

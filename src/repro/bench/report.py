@@ -451,6 +451,15 @@ def _cmd_gc_shm(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
+    if argv is None:
+        argv = sys.argv[1:]
+    # forward `serve ...` before argparse sees it: REMAINDER cannot
+    # capture a leading option token (e.g. `serve --socket S`)
+    if argv and argv[0] == "serve":
+        from ..serve.__main__ import main as serve_main
+
+        return serve_main(list(argv[1:]))
+
     ap = argparse.ArgumentParser(
         prog="python -m repro.bench.report",
         description="run harness configurations, print tables, write traces",
@@ -528,7 +537,18 @@ def main(argv: list[str] | None = None) -> int:
              "process is dead (orphans of SIGKILL'd sessions)",
     )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="forward to the serving daemon CLI (python -m repro.serve)",
+    )
+    p_serve.add_argument("serve_args", nargs=argparse.REMAINDER,
+                         help="arguments passed through to repro.serve")
+
     args = ap.parse_args(argv)
+    if args.command == "serve":
+        from ..serve.__main__ import main as serve_main
+
+        return serve_main(args.serve_args)
     if args.faults:
         from .. import faultinject
 

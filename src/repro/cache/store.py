@@ -23,6 +23,7 @@ Layout of one cache root::
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import time
@@ -59,6 +60,34 @@ LOAD_ERRORS = (
 
 class CacheEntryError(Exception):
     """An entry failed validation; carries the reason for observability."""
+
+
+#: per-process quarantine sequence: combined with the pid it makes every
+#: quarantine destination unique even across processes acting in the
+#: same millisecond (a bare ms stamp collides and ``os.replace`` would
+#: then silently destroy earlier evidence)
+_QUARANTINE_SEQ = itertools.count()
+
+
+def _move_no_clobber(src: Path, dest: Path) -> bool:
+    """Move ``src`` to ``dest`` without ever overwriting ``dest``.
+
+    A hard-link + unlink pair is atomic and fails with ``EEXIST`` when
+    the destination already exists; filesystems without hard links fall
+    back to an exists-check + ``os.rename`` (still never ``os.replace``).
+    Returns False when ``dest`` is already taken.
+    """
+    try:
+        os.link(src, dest)
+    except FileExistsError:
+        return False
+    except OSError:
+        if dest.exists():
+            return False
+        os.rename(src, dest)
+        return True
+    os.unlink(src)
+    return True
 
 
 def fingerprint_payload(payload: dict) -> str:
@@ -142,18 +171,34 @@ class ArtifactCache:
 
     # ---------------------------------------------------------- quarantine
     def quarantine(self, *paths) -> list[Path]:
-        """Move files aside into ``quarantine/`` (never delete evidence)."""
+        """Move files aside into ``quarantine/`` (never delete evidence).
+
+        Destinations are stamped ``<ms>-p<pid>-<seq>`` — pid plus a
+        monotonic per-process counter — so two processes quarantining
+        the same entry in the same millisecond cannot collide.  Should a
+        destination exist anyway, the move fails closed: a fresh name is
+        tried rather than overwriting the earlier evidence, and after
+        exhausting the attempts the quarantine raises instead of
+        clobbering.
+        """
         qdir = self.quarantine_dir()
         qdir.mkdir(parents=True, exist_ok=True)
         moved = []
-        stamp = int(time.time() * 1000)
-        for i, p in enumerate(paths):
+        for p in paths:
             p = Path(p)
             if not p.exists():
                 continue
-            dest = qdir / f"{p.name}.{stamp}-{i}.quarantined"
-            os.replace(p, dest)
-            moved.append(dest)
+            for _ in range(1000):
+                stamp = f"{int(time.time() * 1000)}-p{os.getpid()}-{next(_QUARANTINE_SEQ)}"
+                dest = qdir / f"{p.name}.{stamp}.quarantined"
+                if _move_no_clobber(p, dest):
+                    moved.append(dest)
+                    break
+            else:  # pragma: no cover - requires 1000 live collisions
+                raise CacheEntryError(
+                    f"could not quarantine {p}: every destination name "
+                    "collided with existing evidence"
+                )
         return moved
 
     # ------------------------------------------------------------- core API

@@ -74,6 +74,7 @@ def coarsen_multilevel(
     max_levels: int = MAX_LEVELS,
     tracker: MemoryTracker | None = None,
     include_transfer: bool = True,
+    tape=None,
 ) -> GraphHierarchy:
     """Algorithm 1: build the hierarchy ``{G_1, ..., G_l}``.
 
@@ -83,6 +84,11 @@ def coarsen_multilevel(
     machine is a GPU and ``include_transfer`` is set, the initial
     host-to-device copy of the CSR arrays is charged to the ``transfer``
     phase (Table II includes it; Fig. 3 center excludes it).
+
+    ``tape`` (a fresh :class:`repro.trace.tape.Tape`) records this
+    build's charges/spans/tracker calls and RNG advance so the serving
+    layer can later replay them instead of re-coarsening — see
+    :mod:`repro.trace.tape`.  An OOM'd build leaves the tape incomplete.
     """
     from ..construct.base import get_constructor  # local: avoid import cycle
 
@@ -90,7 +96,22 @@ def coarsen_multilevel(
     construct_fn = get_constructor(constructor)
     algo_name = getattr(coarsen_fn, "coarsener_name", "custom")
     tracker = tracker or MemoryTracker.null()
+    if tape is not None:
+        with tape.record(space):
+            return _coarsen_levels(
+                g, space, coarsen_fn, construct_fn, algo_name, constructor,
+                cutoff, max_levels, tape.wrap_tracker(tracker), include_transfer,
+            )
+    return _coarsen_levels(
+        g, space, coarsen_fn, construct_fn, algo_name, constructor,
+        cutoff, max_levels, tracker, include_transfer,
+    )
 
+
+def _coarsen_levels(
+    g, space, coarsen_fn, construct_fn, algo_name, constructor,
+    cutoff, max_levels, tracker, include_transfer,
+) -> GraphHierarchy:
     graphs = [g]
     mappings: list[CoarseMapping] = []
     level_stats: list[dict] = []

@@ -72,6 +72,7 @@ SITES = {
     "shm.attach": "worker, before mapping a published graph (labels: graph)",
     "cache.store": "any process, before an artifact-cache entry is written (labels: key)",
     "journal.write": "parent, before one journal record is appended (labels: type, seq)",
+    "serve.exec": "serving daemon, before one request executes (labels: op, graph)",
 }
 
 #: exit status used by the ``crash`` kind (BSD EX_SOFTWARE)

@@ -628,6 +628,7 @@ def run_session(
     mp_context=None,
     validate_corpus: bool = False,
     durable: bool = True,
+    descriptors: dict | None = None,
 ) -> SessionOutcome:
     """Run ``tasks`` fault-tolerantly; merge deterministically.
 
@@ -639,6 +640,11 @@ def run_session(
     docstring.  ``session_dir`` enables the journal; passing the same
     directory again resumes.  Quarantined tasks appear in
     ``outcome.failed`` (and ``summary["failed"]``) instead of raising.
+
+    ``descriptors`` passes pre-published shared-memory corpus blocks
+    (the serving daemon's resident registry); the session then skips
+    its own publish and does **not** release the segments on exit —
+    their lifetime belongs to the caller.
     """
     tasks = list(tasks)
     if task_fn is None:
@@ -712,12 +718,16 @@ def run_session(
 
     shared_bytes = 0
     handles: list = []
+    preshared = descriptors
     eff_jobs = max(1, jobs)
     try:
         if remaining and eff_jobs > 1:
-            descriptors: dict = {}
-            sizes: dict = {}
-            if share_corpus and task_fn is None:
+            descriptors = dict(preshared) if preshared else {}
+            sizes: dict = {
+                key: d["nbytes"] for key, d in descriptors.items()
+            }
+            shared_bytes = sum(sizes.values())
+            if not descriptors and share_corpus and task_fn is None:
                 try:
                     descriptors, handles, sizes = publish_corpus(
                         (tasks[i].graph, tasks[i].seed) for i in remaining

@@ -49,6 +49,10 @@ _LIVE: dict[str, object] = {}
 _ATEXIT_INSTALLED = False
 _seq = itertools.count()
 
+#: sig -> the chained cleanup handler this module installed, so repeat
+#: installs are idempotent instead of stacking a new wrapper per call
+_CLEANUP_HANDLERS: dict[int, object] = {}
+
 
 def segment_names():
     """Candidate segment names for this process: ``repro-<pid>-<seq>``.
@@ -117,25 +121,35 @@ def release_all() -> int:
 def install_signal_cleanup(signals=(signal.SIGTERM, signal.SIGINT)) -> None:
     """Chain a cleanup step in front of the current signal disposition.
 
-    The previous handler still runs (or the default is re-raised), so a
-    ctrl-C'd session both unlinks its segments and dies with the usual
-    status.  Used by CLI entry points; library callers rely on atexit.
+    The previous handler still runs, so a ctrl-C'd session both unlinks
+    its segments and dies with the usual status.  ``SIG_IGN`` is
+    honoured: a signal the process deliberately ignores stays non-fatal
+    (segments are still released, in case the ignore is temporary).
+    ``SIG_DFL`` is re-raised with the default disposition.  Installing
+    twice is idempotent — a signal already chained through our handler
+    is left alone rather than wrapped again.  Used by CLI entry points;
+    library callers rely on atexit.
     """
     for sig in signals:
         previous = signal.getsignal(sig)
+        if previous is not None and previous is _CLEANUP_HANDLERS.get(sig):
+            continue  # our chain is already in front; don't stack another
 
         def _handler(signum, frame, _previous=previous):
             release_all()
+            if _previous is signal.SIG_IGN:
+                return  # intentionally ignored: cleanup only, stay alive
             if callable(_previous):
                 _previous(signum, frame)
-            else:
+            else:  # SIG_DFL (or unrecorded): die with the default status
                 signal.signal(signum, signal.SIG_DFL)
                 os.kill(os.getpid(), signum)
 
         try:
             signal.signal(sig, _handler)
         except (ValueError, OSError):  # pragma: no cover - non-main thread
-            pass
+            continue
+        _CLEANUP_HANDLERS[sig] = _handler
 
 
 def list_segments() -> list[dict]:

@@ -29,7 +29,7 @@ from .ggg import greedy_graph_growing
 from .metrics import edge_cut, imbalance
 from .spectral import fiedler_dense, fiedler_power_iteration, median_split
 
-__all__ = ["PartitionResult", "multilevel_bisect"]
+__all__ = ["PartitionResult", "multilevel_bisect", "spectral_vector"]
 
 #: power-iteration budgets.  The coarsest graph (<= 50 vertices) gets a
 #: generous budget; each refinement level gets a short one — multilevel
@@ -68,6 +68,8 @@ def multilevel_bisect(
     power_tol: float | None = None,
     fm_passes: int = 8,
     fm_stall_limit: int | None = None,
+    hierarchy: GraphHierarchy | None = None,
+    tape=None,
 ) -> PartitionResult:
     """Run the full multilevel bisection pipeline on ``g``.
 
@@ -76,15 +78,26 @@ def multilevel_bisect(
     Metis-recipe baselines pass the production partitioners' much
     lighter limits (2 passes, short non-improving-move streaks), which
     is what makes coarsening quality show through in Table VI.
+
+    Passing a prebuilt ``hierarchy`` skips coarsening; with its
+    recorded ``tape`` the build's charges/spans/tracker calls and RNG
+    advance are replayed first, so the result stays byte-identical to a
+    from-scratch run (see :mod:`repro.trace.tape`).  Without a
+    hierarchy, ``tape`` records the coarsening for later reuse.
     """
-    hierarchy = coarsen_multilevel(
-        g,
-        space,
-        coarsener=coarsener,
-        constructor=constructor,
-        cutoff=cutoff,
-        tracker=tracker,
-    )
+    if hierarchy is not None:
+        if tape is not None:
+            tape.replay(space, tracker)
+    else:
+        hierarchy = coarsen_multilevel(
+            g,
+            space,
+            coarsener=coarsener,
+            constructor=constructor,
+            cutoff=cutoff,
+            tracker=tracker,
+            tape=tape,
+        )
     if refinement == "spectral":
         with space.span("uncoarsen", refinement="spectral", graph=g.name):
             part, stats = _uncoarsen_spectral(hierarchy, space, power_tol)
@@ -106,10 +119,17 @@ def multilevel_bisect(
     return PartitionResult(part, cut, hierarchy, stats)
 
 
-def _uncoarsen_spectral(
-    hierarchy: GraphHierarchy, space: ExecSpace, power_tol: float | None
-) -> tuple[np.ndarray, dict]:
-    """Carry the Fiedler vector from the coarsest to the finest level."""
+def spectral_vector(
+    hierarchy: GraphHierarchy, space: ExecSpace, power_tol: float | None = None
+) -> tuple[np.ndarray, list[int]]:
+    """Fiedler vector on the finest graph, carried up the hierarchy.
+
+    The embedding half of spectral uncoarsening, split out so k-way
+    partitioning (:mod:`repro.partition.kway`) can reuse it: solve on
+    the coarsest graph (dense when small, power iteration otherwise),
+    then interpolate + warm-started power iteration per level.  Returns
+    the finest-level vector and the per-level iteration counts.
+    """
     kw = {} if power_tol is None else {"tol": power_tol}
     coarsest = hierarchy.coarsest
     with space.span("initial", method="fiedler", n=coarsest.n):
@@ -129,6 +149,14 @@ def _uncoarsen_spectral(
                 fine, space, x0=x, max_iters=_LEVEL_ITERS, **kw
             )
         iters_per_level.append(iters)
+    return x, iters_per_level
+
+
+def _uncoarsen_spectral(
+    hierarchy: GraphHierarchy, space: ExecSpace, power_tol: float | None
+) -> tuple[np.ndarray, dict]:
+    """Carry the Fiedler vector from the coarsest to the finest level."""
+    x, iters_per_level = spectral_vector(hierarchy, space, power_tol)
     part = median_split(x, hierarchy.graphs[0].vwgts)
     return part, {"power_iters": iters_per_level}
 

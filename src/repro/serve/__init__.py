@@ -1,0 +1,39 @@
+"""Coarsening-as-a-service: the long-lived multi-tenant daemon.
+
+The paper's economics — one coarsening hierarchy amortized over many
+downstream analyses — only pay off if something keeps the hierarchy
+alive between analyses.  This package is that something:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON frames over a unix
+  socket, request validation, typed ok/error/REJECTED responses;
+* :mod:`repro.serve.registry` — the multi-tenant graph registry (hot
+  tier: shm-published CSR; cold tier: the artifact cache) and the LRU
+  hierarchy cache with its record/replay reuse handles;
+* :mod:`repro.serve.executor` — request → harness run → response row,
+  byte-identical to the batch CLI, with pool fan-out for batches;
+* :mod:`repro.serve.server` — the daemon: accept loop, bounded
+  admission queue, dispatcher batching, graceful SIGTERM drain and the
+  full shm/journal cleanup ladder;
+* :mod:`repro.serve.client` — a tiny blocking client;
+* :mod:`repro.serve.loadtest` — the p50/p99 + hit-rate harness behind
+  ``BENCH_serving.json``.
+
+Entry point: ``python -m repro.serve --socket /tmp/repro.sock``.
+"""
+
+from .client import ServeClient, wait_for_server
+from .protocol import ProtocolError, recv_msg, send_msg
+from .registry import GraphRegistry, HierarchyCache
+from .server import ServerConfig, Server
+
+__all__ = [
+    "GraphRegistry",
+    "HierarchyCache",
+    "ProtocolError",
+    "recv_msg",
+    "send_msg",
+    "Server",
+    "ServerConfig",
+    "ServeClient",
+    "wait_for_server",
+]

@@ -1,0 +1,177 @@
+"""``python -m repro.serve`` — daemon, one-shot requests, loadtest.
+
+Subcommands::
+
+    python -m repro.serve --socket /tmp/repro.sock             # the daemon
+    python -m repro.serve request  --socket S --op partition --graph ppa
+    python -m repro.serve request  --socket S --requests mix.json --trace-dir D
+    python -m repro.serve loadtest --socket S --spawn --out BENCH_serving.json
+
+Bare invocation (no subcommand) runs the daemon.  ``request`` with
+``--trace-dir`` writes the same ``results.json`` + ``<key>.trace.json``
+files as the batch CLI, which is how CI diffs served responses against
+the batch path byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SUBCOMMANDS = ("serve", "request", "loadtest")
+
+
+def _cmd_serve(args) -> int:
+    from .server import Server, ServerConfig
+
+    config = ServerConfig(
+        socket_path=str(args.socket),
+        queue_max=args.queue_max,
+        batch_max=args.batch_max,
+        jobs=args.jobs,
+        max_graphs=args.max_graphs,
+        max_hierarchies=args.max_hierarchies,
+        drain_timeout=args.drain_timeout,
+        log_dir=str(args.log_dir) if args.log_dir is not None else None,
+    )
+    server = Server(config)
+    print(f"serving on {config.socket_path} "
+          f"(queue {config.queue_max}, batch {config.batch_max}, "
+          f"jobs {config.jobs}); SIGTERM drains and exits", flush=True)
+    return server.serve_forever()
+
+
+def _cmd_request(args) -> int:
+    from .client import ServeClient
+
+    if args.requests is not None:
+        reqs = json.loads(Path(args.requests).read_text())
+        if not isinstance(reqs, list):
+            raise SystemExit(f"{args.requests} must hold a JSON list of requests")
+    else:
+        req = {"op": args.op, "graph": args.graph, "machine": args.machine,
+               "coarsener": args.coarsener, "constructor": args.constructor,
+               "refinement": args.refinement, "k": args.k, "seed": args.seed}
+        if args.oom:
+            req["oom"] = True
+        if args.assignment:
+            req["assignment"] = True
+        reqs = [req]
+
+    rows, failures = [], 0
+    with ServeClient(str(args.socket)) as client:
+        for req in reqs:
+            resp = client.request(req)
+            status = resp.get("status")
+            if status == "ok" and "row" in resp:
+                rows.append(resp["row"])
+                print(json.dumps(
+                    {k: v for k, v in resp.items() if k != "row"}
+                    | {"row": {k: v for k, v in resp["row"].items()
+                               if k != "trace"}},
+                    sort_keys=True))
+            else:
+                failures += 1
+                print(json.dumps(resp, sort_keys=True))
+
+    if args.trace_dir is not None and rows:
+        from ..bench.report import write_results, write_trace
+
+        written = [write_trace({"trace": row.get("trace")}, args.trace_dir)
+                   for row in rows]
+        write_results(rows, args.trace_dir)
+        print(f"wrote {sum(p is not None for p in written)} trace(s) + "
+              f"results.json to {args.trace_dir}")
+    return 1 if failures else 0
+
+
+def _cmd_loadtest(args) -> int:
+    from .loadtest import main as loadtest_main
+
+    return loadtest_main(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="coarsening-as-a-service daemon, client, and loadtest",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p_s = sub.add_parser("serve", help="run the daemon (the default command)")
+    p_s.add_argument("--socket", type=Path, default=Path("repro-serve.sock"))
+    p_s.add_argument("--queue-max", type=int, default=64,
+                     help="admission bound: queued requests beyond this get "
+                          "a typed REJECTED response (default 64)")
+    p_s.add_argument("--batch-max", type=int, default=8,
+                     help="dispatcher batch width (default 8)")
+    p_s.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for batches of distinct cold "
+                          "configs (default 1 = everything in-process)")
+    p_s.add_argument("--max-graphs", type=int, default=8,
+                     help="resident graph tenants, LRU-evicted (default 8)")
+    p_s.add_argument("--max-hierarchies", type=int, default=32,
+                     help="resident hierarchies, LRU-evicted (default 32)")
+    p_s.add_argument("--drain-timeout", type=float, default=10.0,
+                     help="seconds SIGTERM waits for queued work (default 10)")
+    p_s.add_argument("--log-dir", type=Path, default=None,
+                     help="append-only request journal directory")
+
+    p_r = sub.add_parser("request", help="send request(s) to a running daemon")
+    p_r.add_argument("--socket", type=Path, required=True)
+    p_r.add_argument("--requests", type=Path, default=None,
+                     help="JSON file with a list of request objects")
+    p_r.add_argument("--op", choices=("coarsen", "partition", "cluster",
+                                      "status", "ping"), default="partition")
+    p_r.add_argument("--graph", default="ppa")
+    p_r.add_argument("--machine", choices=("gpu", "cpu"), default="gpu")
+    p_r.add_argument("--coarsener", default="hec")
+    p_r.add_argument("--constructor", default="sort")
+    p_r.add_argument("--refinement", choices=("spectral", "fm"), default="fm")
+    p_r.add_argument("--k", type=int, default=2)
+    p_r.add_argument("--seed", type=int, default=0)
+    p_r.add_argument("--oom", action="store_true")
+    p_r.add_argument("--assignment", action="store_true",
+                     help="include the part/cluster assignment in the response")
+    p_r.add_argument("--trace-dir", type=Path, default=None,
+                     help="write results.json + traces exactly like the "
+                          "batch CLI (enables byte-for-byte diffing)")
+
+    p_l = sub.add_parser("loadtest", help="replay a mixed request set")
+    p_l.add_argument("--socket", type=Path, default=Path("repro-serve.sock"))
+    p_l.add_argument("--spawn", action="store_true",
+                     help="start an in-process daemon on --socket first")
+    p_l.add_argument("--requests", type=int, default=512,
+                     help="total requests to replay (default 512)")
+    p_l.add_argument("--clients", type=int, default=4,
+                     help="concurrent client connections (default 4)")
+    p_l.add_argument("--graphs", default="ppa,citation",
+                     help="comma-separated corpus graphs (default ppa,citation)")
+    p_l.add_argument("--seed", type=int, default=0)
+    p_l.add_argument("--jobs", type=int, default=1,
+                     help="daemon jobs when spawning (default 1)")
+    p_l.add_argument("--out", type=Path, default=None,
+                     help="merge the report into this BENCH_serving.json")
+    p_l.add_argument("--compare", type=Path, default=None,
+                     help="gate p50/p99 + hit-rate against this baseline")
+    p_l.add_argument("--max-regression", type=float, default=3.0,
+                     help="allowed relative latency increase vs the baseline "
+                          "(default 3.0 = 4x, CI machines vary widely)")
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in _SUBCOMMANDS and argv[0] != "-h" \
+            and argv[0] != "--help":
+        argv.insert(0, "serve")
+    args = build_parser().parse_args(argv)
+    args.socket = Path(args.socket)
+    return {"serve": _cmd_serve, "request": _cmd_request,
+            "loadtest": _cmd_loadtest}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Blocking unix-socket client for the serving daemon."""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from .protocol import ProtocolError, recv_msg, send_msg
+
+__all__ = ["ServeClient", "wait_for_server"]
+
+
+class ServeClient:
+    """One connection, one request in flight at a time.
+
+    The protocol is strictly request/response per connection; a client
+    wanting parallelism opens more clients (they are cheap).
+    """
+
+    def __init__(self, socket_path: str, *, timeout: float | None = 120.0):
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+
+    def request(self, req: dict) -> dict:
+        send_msg(self._sock, req)
+        resp = recv_msg(self._sock)
+        if resp is None:
+            raise ProtocolError("server closed the connection without a response")
+        return resp
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def wait_for_server(socket_path: str, *, timeout: float = 30.0) -> None:
+    """Block until the daemon at ``socket_path`` answers a ping."""
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(socket_path, timeout=5.0) as client:
+                resp = client.request({"op": "ping"})
+                if resp.get("status") == "ok":
+                    return
+        except (OSError, ProtocolError) as e:
+            last = e
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"no server answered at {socket_path} within {timeout:.0f}s "
+        f"(last error: {last})"
+    )

@@ -1,0 +1,209 @@
+"""Request execution: one request → one harness run → one response row.
+
+The invariant everything here protects: **a served row is byte-identical
+to the batch CLI's row for the same configuration.**  The executor
+therefore runs the *same* harness functions with the *same* argument
+plumbing as :func:`repro.parallel.pool._execute`; the only additions
+are the hierarchy-reuse handle (whose tape replay is bitwise neutral,
+see :mod:`repro.trace.tape`) and response metadata that never enters
+the row.
+
+Batches of ≥2 *distinct, hierarchy-cold* coarsen/bisect requests can
+fan out over the PR-5 supervised pool (``jobs > 1``), reusing the
+registry's already-published shm segments via ``run_session``'s
+``descriptors`` hook.  Pooled rows are byte-identical by the PR-4/5
+merge invariant but bypass the hierarchy cache (a hierarchy cannot
+cross the process boundary), so cache-hits, k-way, and cluster
+requests always run in-process — which is also the default
+(``jobs=1``) configuration the acceptance numbers are measured on.
+"""
+
+from __future__ import annotations
+
+from .. import faultinject
+from ..bench.harness import (
+    run_cluster,
+    run_coarsening,
+    run_partition,
+    run_partition_kway,
+)
+from ..parallel.memory import SimulatedOOM
+from ..parallel.pool import ExperimentTask, _scalar_row
+from .protocol import error_response, ok_response
+from .registry import GraphRegistry, HierarchyCache, hierarchy_key
+
+__all__ = ["ServeExecutor"]
+
+
+def _row_from_result(result: dict) -> dict:
+    """Scalar row + serialized trace — exactly pool.py's row shape."""
+    row = _scalar_row(result)
+    tracer = result.get("trace")
+    if tracer is not None:
+        row["trace"] = tracer.to_dict() if hasattr(tracer, "to_dict") else tracer
+    return row
+
+
+def request_key(req: dict) -> str:
+    """The batch task key a request corresponds to, where one exists."""
+    if req["op"] == "coarsen":
+        return ExperimentTask(
+            kind="coarsen", graph=req["graph"], machine=req["machine"],
+            coarsener=req["coarsener"], constructor=req["constructor"],
+            seed=req["seed"], oom=req["oom"],
+        ).key()
+    if req["op"] == "partition" and req["k"] == 2:
+        return ExperimentTask(
+            kind="partition", graph=req["graph"], machine=req["machine"],
+            coarsener=req["coarsener"], constructor=req["constructor"],
+            refinement=req["refinement"], seed=req["seed"], oom=req["oom"],
+        ).key()
+    parts = [req["op"], req["machine"], req["coarsener"], req["constructor"]]
+    if req["op"] == "partition":
+        parts.append(f"greedy-k{req['k']}")
+    parts += [req["graph"], f"s{req['seed']}"]
+    return ":".join(parts)
+
+
+class ServeExecutor:
+    """Executes validated requests against the registry's residents."""
+
+    def __init__(
+        self,
+        registry: GraphRegistry | None = None,
+        hierarchies: HierarchyCache | None = None,
+        *,
+        jobs: int = 1,
+    ):
+        self.registry = registry if registry is not None else GraphRegistry()
+        self.hierarchies = (
+            hierarchies if hierarchies is not None else HierarchyCache()
+        )
+        self.jobs = max(1, jobs)
+        self.executed = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------ single
+
+    def execute(self, req: dict) -> dict:
+        """Run one request in-process; always returns a response dict."""
+        try:
+            faultinject.fire("serve.exec", op=req["op"], graph=req.get("graph", ""))
+            return self._dispatch(req)
+        except SimulatedOOM as e:
+            # harness runners convert OOM to a row themselves; reaching
+            # here means a non-row path (e.g. cluster projection) blew up
+            self.errors += 1
+            return error_response(str(e), kind="SimulatedOOM")
+        except Exception as e:  # noqa: BLE001 - marshalled to the client
+            self.errors += 1
+            return error_response(str(e) or type(e).__name__, kind=type(e).__name__)
+
+    def _dispatch(self, req: dict) -> dict:
+        reuse = self.hierarchies.handle(req)
+        cached_before = self.hierarchies.peek(reuse.key)
+        g, spec = self.registry.graph(req["graph"], req["seed"])
+        common = dict(
+            machine=req["machine"], coarsener=req["coarsener"],
+            constructor=req["constructor"], seed=req["seed"], oom=req["oom"],
+            reuse=reuse,
+        )
+        if req["op"] == "coarsen":
+            result = run_coarsening(g, spec, **common)
+        elif req["op"] == "partition" and req["k"] == 2:
+            result = run_partition(g, spec, refinement=req["refinement"], **common)
+        elif req["op"] == "partition":
+            result = run_partition_kway(g, spec, k=req["k"], **common)
+        elif req["op"] == "cluster":
+            result = run_cluster(g, spec, **common)
+        else:  # pragma: no cover - validate_request guards this
+            return error_response(f"unknown op {req['op']!r}")
+
+        row = _row_from_result(result)
+        meta = {"hierarchy": "hit" if cached_before else "build"}
+        if result.get("oom"):
+            meta["hierarchy"] = "oom"
+        if req.get("assignment"):
+            if "part" in result:
+                meta["assignment"] = [int(v) for v in result["part"]]
+            elif result.get("result") is not None:
+                meta["assignment"] = [int(v) for v in result["result"].part]
+            elif "labels" in result:
+                meta["assignment"] = [int(v) for v in result["labels"]]
+        self.executed += 1
+        return ok_response(row, key=request_key(req), meta=meta)
+
+    # ------------------------------------------------------------- batch
+
+    def poolable(self, req: dict) -> bool:
+        """True when a request has a batch-task equivalent and is
+        hierarchy-cold — the only case worth shipping to a worker."""
+        if self.jobs <= 1:
+            return False
+        if req["op"] == "coarsen" or (req["op"] == "partition" and req["k"] == 2):
+            return not self.hierarchies.peek(hierarchy_key(req))
+        return False
+
+    def execute_batch(self, requests: list[dict]) -> list[dict]:
+        """Execute a dispatcher batch; responses in request order.
+
+        With ``jobs > 1``, the poolable subset (distinct configs only —
+        duplicates would trip the deterministic-merge key check, and
+        running them twice is the waste this daemon exists to avoid)
+        fans out over ``run_session`` with the registry's published
+        descriptors; everything else, and any pooled task that failed,
+        runs in-process.
+        """
+        responses: list[dict | None] = [None] * len(requests)
+        pooled: dict[tuple, list[int]] = {}
+        if self.jobs > 1 and len(requests) > 1:
+            for i, req in enumerate(requests):
+                if self.poolable(req):
+                    # the grouping key carries ``oom`` even though the
+                    # batch key does not: two requests differing only in
+                    # the OOM flag are different work, and pooling both
+                    # would collide in run_session's unique-key check
+                    pooled.setdefault((request_key(req), req["oom"]), []).append(i)
+        seen_batch_keys = set()
+        for key in list(pooled):
+            if key[0] in seen_batch_keys:  # oom-twin: run it in-process
+                del pooled[key]
+            else:
+                seen_batch_keys.add(key[0])
+        if sum(len(v) for v in pooled.values()) > 1:
+            tasks, keys = [], []
+            for key, idxs in pooled.items():
+                req = requests[idxs[0]]
+                kind = "coarsen" if req["op"] == "coarsen" else "partition"
+                tasks.append(ExperimentTask(
+                    kind=kind, graph=req["graph"], machine=req["machine"],
+                    coarsener=req["coarsener"], constructor=req["constructor"],
+                    refinement=req["refinement"], seed=req["seed"],
+                    oom=req["oom"],
+                ))
+                keys.append(key[0])
+            from ..parallel.session import run_session
+
+            outcome = run_session(
+                tasks, self.jobs, retries=1,
+                descriptors=self.registry.descriptors(),
+            )
+            # results keep task order but skip quarantined entries
+            failed_keys = {f["key"] for f in outcome.failed}
+            rows = iter(outcome.results)
+            by_key = {
+                t.key(): next(rows) for t in tasks if t.key() not in failed_keys
+            }
+            for key, idxs in pooled.items():
+                row = by_key.get(key[0])
+                if row is None:
+                    continue  # quarantined: fall through to in-process
+                for i in idxs:
+                    self.executed += 1
+                    responses[i] = ok_response(
+                        dict(row), key=key[0], meta={"hierarchy": "pooled"}
+                    )
+        for i, req in enumerate(requests):
+            if responses[i] is None:
+                responses[i] = self.execute(req)
+        return responses

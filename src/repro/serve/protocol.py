@@ -1,0 +1,160 @@
+"""Wire protocol: length-prefixed JSON frames + request validation.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Both sides speak the same framing; there is no
+streaming, no multiplexing — one request, one response, in order, per
+connection (clients wanting concurrency open more connections, which is
+exactly what the loadtest does).
+
+Requests are plain objects::
+
+    {"op": "partition", "graph": "ppa", "machine": "gpu",
+     "coarsener": "hec", "constructor": "sort", "refinement": "fm",
+     "k": 2, "seed": 0}
+
+Responses carry ``status``: ``"ok"`` (with the harness row), ``"error"``
+(with a message), or ``"rejected"`` — the typed admission-control
+response, carrying the reason (``queue-full`` / ``shutting-down``) so a
+client can tell backpressure from failure and retry accordingly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+__all__ = [
+    "MAX_FRAME",
+    "OPS",
+    "ProtocolError",
+    "send_msg",
+    "recv_msg",
+    "validate_request",
+    "ok_response",
+    "error_response",
+    "rejected_response",
+]
+
+_LEN = struct.Struct(">I")
+
+#: refuse frames beyond this — a corrupt length prefix must not convince
+#: the daemon to allocate gigabytes
+MAX_FRAME = 64 * 1024 * 1024
+
+#: every operation the executor understands
+OPS = ("coarsen", "partition", "cluster", "status", "ping")
+
+#: request fields with their defaults (``None`` = required)
+_FIELDS = {
+    "machine": "gpu",
+    "coarsener": "hec",
+    "constructor": "sort",
+    "refinement": "fm",
+    "k": 2,
+    "seed": 0,
+    "oom": False,
+    "assignment": False,
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed frame or invalid request object."""
+
+
+def send_msg(sock: socket.socket, obj: dict) -> None:
+    """Serialize ``obj`` and write one frame."""
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on a clean EOF at a frame boundary."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> dict | None:
+    """Read one frame; None when the peer closed between frames."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"declared frame of {length} bytes exceeds MAX_FRAME")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed before the frame body")
+    try:
+        obj = json.loads(body)
+    except ValueError as e:
+        raise ProtocolError(f"frame is not valid JSON: {e}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+def validate_request(req: dict) -> dict:
+    """Normalize a request: defaults applied, types checked.
+
+    Returns a fresh dict; raises :class:`ProtocolError` on anything the
+    executor would choke on, so bad input is rejected at the door with a
+    message instead of surfacing as a worker traceback.
+    """
+    op = req.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; known: {OPS}")
+    out = {"op": op}
+    if op in ("status", "ping"):
+        return out
+    graph = req.get("graph")
+    if not isinstance(graph, str) or not graph:
+        raise ProtocolError(f"op {op!r} requires a graph name")
+    out["graph"] = graph
+    for name, default in _FIELDS.items():
+        value = req.get(name, default)
+        if not isinstance(value, type(default)):
+            raise ProtocolError(
+                f"field {name!r} must be {type(default).__name__}, "
+                f"got {type(value).__name__}"
+            )
+        out[name] = value
+    if out["machine"] not in ("gpu", "cpu"):
+        raise ProtocolError(f"unknown machine {out['machine']!r}")
+    if out["refinement"] not in ("spectral", "fm"):
+        raise ProtocolError(f"unknown refinement {out['refinement']!r}")
+    if not 1 <= out["k"] <= 4096:
+        raise ProtocolError(f"k={out['k']} out of range [1, 4096]")
+    return out
+
+
+def ok_response(row: dict, *, key: str | None = None, meta: dict | None = None) -> dict:
+    out = {"status": "ok", "row": row}
+    if key is not None:
+        out["key"] = key
+    if meta:
+        out["meta"] = meta
+    return out
+
+
+def error_response(message: str, *, kind: str = "error") -> dict:
+    return {"status": "error", "kind": kind, "error": message}
+
+
+def rejected_response(reason: str, *, queued: int | None = None) -> dict:
+    """The typed admission-control response (never a silent drop)."""
+    out = {"status": "rejected", "reason": reason}
+    if queued is not None:
+        out["queued"] = queued
+    return out

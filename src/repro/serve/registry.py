@@ -1,0 +1,213 @@
+"""Multi-tenant graph registry and the resident hierarchy cache.
+
+Two tiers keep a served graph hot:
+
+* **Hot tier** — the CSR arrays live in this process (loaded once per
+  (graph, seed) tenant) and are *also* published as a shared-memory
+  segment (:meth:`repro.csr.graph.CSRGraph.to_shared`), so a pool
+  fan-out attaches zero-copy instead of re-pickling per task.  Publish
+  failure (exhausted ``/dev/shm``) degrades to in-process-only — the
+  daemon keeps serving, workers fall back to the cache path — and is
+  recorded, never silent.
+* **Cold tier** — the PR-1 artifact cache on disk.  A registry miss
+  loads through :func:`repro.generators.corpus.load`, whose per-entry
+  file lock single-flights concurrent generation; eviction from the
+  registry only drops memory, the cold tier still has the artifact.
+
+Beside the graphs sits the :class:`HierarchyCache`: (config → built
+hierarchy + its recorded :class:`~repro.trace.tape.Tape`).  A request
+that shares a hierarchy config takes a :class:`ReuseHandle` into the
+harness; partitioning one graph at k ∈ {2..64} coarsens exactly once.
+Both caches are LRU-bounded and thread-safe (the dispatcher and the
+inline status path touch them concurrently).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..generators import corpus
+from ..parallel import shm as shm_lifecycle
+
+__all__ = ["GraphRegistry", "HierarchyCache", "ReuseHandle", "hierarchy_key"]
+
+
+def hierarchy_key(req: dict) -> tuple:
+    """The coarsening identity a hierarchy is cached under.
+
+    Everything that influences the build: graph, seed, machine (charges
+    price differently), coarsener, constructor, and whether the OOM
+    simulation is armed.  ``refinement`` and ``k`` are deliberately
+    absent — they only affect what happens *after* coarsening, which is
+    the whole point of the reuse.
+    """
+    return (
+        req["graph"],
+        req["seed"],
+        req["machine"],
+        req["coarsener"],
+        req["constructor"],
+        req["oom"],
+    )
+
+
+class GraphRegistry:
+    """Resident (graph, seed) tenants with shm publication + LRU bound."""
+
+    def __init__(self, max_graphs: int = 8):
+        self.max_graphs = max_graphs
+        self._lock = threading.Lock()
+        #: (name, seed) -> {"graph", "spec", "descriptor", "shm"}
+        self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        self.loads = 0
+        self.evictions = 0
+        self.degradations: list[dict] = []
+
+    def graph(self, name: str, seed: int):
+        """Resolve a tenant's graph, loading + publishing on first touch."""
+        key = (name, seed)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                return entry["graph"], entry["spec"]
+        # load outside the lock: generation can take a while and the
+        # artifact cache's own file lock already single-flights it
+        g, spec = corpus.load(name, seed)
+        descriptor = shm = None
+        try:
+            names = shm_lifecycle.segment_names()
+            descriptor, shm = g.to_shared(name=next(names))
+            shm_lifecycle.register(shm)
+        except OSError as e:
+            self.degradations.append(
+                {"site": "serve.publish", "action": "in-process-only",
+                 "graph": name, "error": str(e)}
+            )
+            descriptor = shm = None
+        with self._lock:
+            raced = self._entries.get(key)
+            if raced is not None:  # another thread won the load
+                if shm is not None:
+                    self._unpublish(shm)
+                return raced["graph"], raced["spec"]
+            self._entries[key] = {
+                "graph": g, "spec": spec, "descriptor": descriptor, "shm": shm,
+            }
+            self.loads += 1
+            while len(self._entries) > self.max_graphs:
+                _, old = self._entries.popitem(last=False)
+                self.evictions += 1
+                if old["shm"] is not None:
+                    self._unpublish(old["shm"])
+        return g, spec
+
+    @staticmethod
+    def _unpublish(shm) -> None:
+        try:
+            shm.close()
+            shm.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        finally:
+            shm_lifecycle.unregister(shm)
+
+    def descriptors(self) -> dict:
+        """(name, seed) → shm descriptor for every published tenant.
+
+        The dict :func:`repro.parallel.session.run_session` accepts as
+        pre-published corpus; segments stay owned by the registry.
+        """
+        with self._lock:
+            return {
+                key: e["descriptor"]
+                for key, e in self._entries.items()
+                if e["descriptor"] is not None
+            }
+
+    def resident(self) -> list[dict]:
+        with self._lock:
+            return [
+                {"graph": name, "seed": seed, "n": e["graph"].n,
+                 "m": e["graph"].m, "published": e["shm"] is not None}
+                for (name, seed), e in self._entries.items()
+            ]
+
+    def close(self) -> None:
+        """Unpublish every segment; part of the shutdown cleanup ladder."""
+        with self._lock:
+            for e in self._entries.values():
+                if e["shm"] is not None:
+                    self._unpublish(e["shm"])
+                    e["shm"] = e["descriptor"] = None
+            self._entries.clear()
+
+
+class ReuseHandle:
+    """One config's view of the hierarchy cache — the harness protocol.
+
+    ``get()`` returns ``(hierarchy, tape)`` or None; ``put`` stores a
+    fresh build.  Counters land on the owning cache.
+    """
+
+    def __init__(self, cache: "HierarchyCache", key: tuple):
+        self.cache = cache
+        self.key = key
+
+    def get(self):
+        return self.cache.get(self.key)
+
+    def put(self, hierarchy, tape) -> None:
+        self.cache.put(self.key, hierarchy, tape)
+
+
+class HierarchyCache:
+    """LRU of built hierarchies + their replay tapes, with counters."""
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+        self.builds = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def handle(self, req: dict) -> ReuseHandle:
+        return ReuseHandle(self, hierarchy_key(req))
+
+    def peek(self, key: tuple) -> bool:
+        """Presence check that moves no LRU position and no counter."""
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: tuple):
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+
+    def put(self, key: tuple, hierarchy, tape) -> None:
+        with self._lock:
+            self._entries[key] = (hierarchy, tape)
+            self.builds += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "builds": self.builds,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }

@@ -9,6 +9,7 @@ import subprocess
 import sys
 import textwrap
 import zipfile
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -39,6 +40,8 @@ def small_graph(n=30, seed=0):
 
 
 FP = fingerprint_payload({"test": 1})
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def get(cache: ArtifactCache, key="g", fp=FP, generated=None):
@@ -366,3 +369,92 @@ class TestStats:
         )
         assert total.hits == 3 and total.misses == 1
         assert total.generation_seconds == pytest.approx(0.75)
+
+
+class TestQuarantineStamp:
+    """pid + per-process-counter stamps: no collisions, never clobber."""
+
+    def _entry(self, cache, name="evidence.npz", body=b"v1"):
+        p = cache.root / name
+        p.write_bytes(body)
+        return p
+
+    def test_same_name_twice_preserves_both(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        a = cache.quarantine(self._entry(cache, body=b"first"))
+        b = cache.quarantine(self._entry(cache, body=b"second"))
+        assert len(a) == len(b) == 1 and a[0] != b[0]
+        assert a[0].read_bytes() == b"first"
+        assert b[0].read_bytes() == b"second"
+        assert f"-p{os.getpid()}-" in a[0].name
+
+    def test_frozen_clock_still_unique(self, tmp_path, monkeypatch):
+        """Same millisecond, same process: the counter disambiguates."""
+        from repro.cache import store as cache_store
+
+        monkeypatch.setattr(cache_store.time, "time", lambda: 1234.000)
+        cache = ArtifactCache(tmp_path)
+        moved = [cache.quarantine(self._entry(cache, body=bytes([i])))[0]
+                 for i in range(3)]
+        assert len({m.name for m in moved}) == 3
+        assert all(m.read_bytes() == bytes([i]) for i, m in enumerate(moved))
+
+    def test_cross_process_same_millisecond(self, tmp_path):
+        """Same millisecond, two processes: the pid disambiguates."""
+        script = textwrap.dedent("""
+            import sys
+            from pathlib import Path
+            from repro.cache import store
+            store.time.time = lambda: 1234.000
+            store.itertools = None  # prove seq isn't what saves us
+            store._QUARANTINE_SEQ = iter([0])
+            cache = store.ArtifactCache(Path(sys.argv[1]))
+            p = cache.root / "evidence.npz"
+            p.write_bytes(b"x")
+            print(cache.quarantine(p)[0].name)
+        """)
+        names = []
+        for _ in range(2):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            out = subprocess.run(
+                [sys.executable, "-c", script, str(tmp_path)],
+                env=env, capture_output=True, timeout=60,
+            )
+            assert out.returncode == 0, out.stderr.decode()
+            names.append(out.stdout.decode().strip())
+        assert len(set(names)) == 2  # distinct pids -> distinct stamps
+        qdir = tmp_path / "quarantine"
+        assert sorted(p.name for p in qdir.iterdir()) == sorted(names)
+
+    def test_fail_closed_when_every_name_taken(self, tmp_path, monkeypatch):
+        """A taken destination is never overwritten; exhaustion raises."""
+        import itertools
+
+        from repro.cache import store as cache_store
+
+        monkeypatch.setattr(cache_store.time, "time", lambda: 1234.000)
+        monkeypatch.setattr(cache_store, "_QUARANTINE_SEQ", itertools.repeat(7))
+        cache = ArtifactCache(tmp_path)
+        src = self._entry(cache, body=b"new evidence")
+        stamp = f"1234000-p{os.getpid()}-7"
+        cache.quarantine_dir().mkdir(parents=True, exist_ok=True)
+        taken = cache.quarantine_dir() / f"{src.name}.{stamp}.quarantined"
+        taken.write_bytes(b"EARLIER EVIDENCE")
+        with pytest.raises(CacheEntryError, match="could not quarantine"):
+            cache.quarantine(src)
+        assert taken.read_bytes() == b"EARLIER EVIDENCE"  # untouched
+        assert src.read_bytes() == b"new evidence"  # still in place
+
+    def test_move_no_clobber_unit(self, tmp_path):
+        from repro.cache.store import _move_no_clobber
+
+        src = tmp_path / "src"
+        dest = tmp_path / "dest"
+        src.write_bytes(b"a")
+        dest.write_bytes(b"keep")
+        assert _move_no_clobber(src, dest) is False
+        assert dest.read_bytes() == b"keep" and src.exists()
+        fresh = tmp_path / "fresh"
+        assert _move_no_clobber(src, fresh) is True
+        assert fresh.read_bytes() == b"a" and not src.exists()

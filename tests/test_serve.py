@@ -1,0 +1,561 @@
+"""Serving daemon: protocol, byte-parity, hierarchy reuse, admission,
+clean shutdown, and the loadtest harness."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import faultinject
+from repro.coarsen import multilevel as ml
+from repro.parallel import shm as shm_lifecycle
+from repro.parallel.pool import ExperimentTask, _execute
+from repro.parallel.session import SessionJournal
+from repro.serve import (
+    GraphRegistry,
+    HierarchyCache,
+    ProtocolError,
+    ServeClient,
+    Server,
+    ServerConfig,
+    recv_msg,
+    send_msg,
+    wait_for_server,
+)
+from repro.serve import protocol
+from repro.serve.executor import ServeExecutor, request_key
+from repro.serve.loadtest import (
+    build_mix,
+    compare_against,
+    merge_bench_file,
+    percentile,
+)
+from repro.serve.registry import hierarchy_key
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+def _req(op="partition", graph="ppa", **over):
+    base = {"op": op, "graph": graph, "machine": "gpu", "coarsener": "hec",
+            "constructor": "sort", "refinement": "fm", "k": 2, "seed": 0,
+            "oom": False, "assignment": False}
+    base.update(over)
+    return base
+
+
+def _canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+def _no_own_segments():
+    mine = [s for s in shm_lifecycle.list_segments() if s["pid"] == os.getpid()]
+    assert mine == [], mine
+
+
+# ------------------------------------------------------------- protocol
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            msg = {"op": "partition", "graph": "ppa", "k": 17, "nested": {"x": [1, 2]}}
+            send_msg(a, msg)
+            assert recv_msg(b) == msg
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b'{"op":')  # promises 100 bytes
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame|before the frame"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_oversized_declared_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", protocol.MAX_FRAME + 1))
+            with pytest.raises(ProtocolError, match="MAX_FRAME"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_send_rejected(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME", 64)
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="MAX_FRAME"):
+                send_msg(a, {"payload": "x" * 200})
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_frame_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            body = b"[1,2,3]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_validate_applies_defaults(self):
+        out = protocol.validate_request({"op": "partition", "graph": "ppa"})
+        assert out == _req()
+
+    def test_validate_rejections(self):
+        for bad, pat in [
+            ({"op": "frobnicate"}, "unknown op"),
+            ({"op": "coarsen"}, "requires a graph"),
+            ({"op": "partition", "graph": "ppa", "k": 0}, "out of range"),
+            ({"op": "partition", "graph": "ppa", "k": "two"}, "must be int"),
+            ({"op": "partition", "graph": "ppa", "machine": "tpu"}, "machine"),
+            ({"op": "partition", "graph": "ppa", "refinement": "km"}, "refinement"),
+        ]:
+            with pytest.raises(ProtocolError, match=pat):
+                protocol.validate_request(bad)
+
+    def test_validate_ping_status_passthrough(self):
+        assert protocol.validate_request({"op": "ping"}) == {"op": "ping"}
+        assert protocol.validate_request({"op": "status", "junk": 1}) == {"op": "status"}
+
+
+# ---------------------------------------------------- executor + parity
+
+
+class TestServeExecutor:
+    def test_partition_row_byte_identical_to_batch(self):
+        ex = ServeExecutor()
+        try:
+            resp = ex.execute(_req())
+            assert resp["status"] == "ok"
+            batch_row = _execute(ExperimentTask(
+                kind="partition", graph="ppa", refinement="fm", oom=False))
+            assert _canon(resp["row"]) == _canon(batch_row)
+            assert resp["key"] == "partition:gpu:hec:sort:fm:ppa:s0"
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_coarsen_row_byte_identical_to_batch(self):
+        ex = ServeExecutor()
+        try:
+            resp = ex.execute(_req(op="coarsen", graph="citation"))
+            batch_row = _execute(ExperimentTask(
+                kind="coarsen", graph="citation", oom=False))
+            assert _canon(resp["row"]) == _canon(batch_row)
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_hit_row_byte_identical_to_build_row(self):
+        """Tape replay makes a cache hit bitwise-neutral."""
+        ex = ServeExecutor()
+        try:
+            first = ex.execute(_req())
+            second = ex.execute(_req())
+            assert first["meta"]["hierarchy"] == "build"
+            assert second["meta"]["hierarchy"] == "hit"
+            assert _canon(first["row"]) == _canon(second["row"])
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_error_is_typed_response(self):
+        ex = ServeExecutor()
+        try:
+            resp = ex.execute(_req(graph="no-such-graph"))
+            assert resp["status"] == "error"
+            assert resp["kind"]
+            assert ex.errors == 1
+        finally:
+            ex.registry.close()
+
+    def test_assignment_opt_in(self):
+        ex = ServeExecutor()
+        try:
+            without = ex.execute(_req())
+            with_part = ex.execute(_req(assignment=True))
+            assert "assignment" not in without.get("meta", {})
+            part = with_part["meta"]["assignment"]
+            assert sorted(set(part)) == [0, 1]
+            labels = ex.execute(_req(op="cluster", assignment=True))
+            assert len(labels["meta"]["assignment"]) > 0
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_request_key_matches_batch_key(self):
+        assert request_key(_req()) == ExperimentTask(
+            kind="partition", graph="ppa", refinement="fm").key()
+        assert request_key(_req(op="coarsen")) == ExperimentTask(
+            kind="coarsen", graph="ppa").key()
+        assert request_key(_req(k=8)) == "partition:gpu:hec:sort:greedy-k8:ppa:s0"
+        assert request_key(_req(op="cluster")) == "cluster:gpu:hec:sort:ppa:s0"
+
+
+class TestHierarchyReuse:
+    def test_k_sweep_coarsens_exactly_once(self, monkeypatch):
+        """The acceptance criterion: k ∈ {2..64} on one graph → 1 build."""
+        calls = []
+        real = ml._coarsen_levels
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(ml, "_coarsen_levels", counting)
+        ex = ServeExecutor()
+        try:
+            cuts = {}
+            for k in range(2, 65):
+                resp = ex.execute(_req(k=k))
+                assert resp["status"] == "ok", resp
+                cuts[k] = resp["row"]["cut"]
+            stats = ex.hierarchies.stats()
+            assert stats["builds"] == 1
+            assert stats["hits"] == 62
+            assert len(calls) == 1  # the ledger-level truth: one coarsening
+            # the sweep actually partitioned at every k
+            assert all(cuts[k] > 0 for k in cuts)
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_reuse_spans_ops(self):
+        """coarsen / bisect / k-way / cluster share one hierarchy."""
+        ex = ServeExecutor()
+        try:
+            for req in (_req(op="coarsen"), _req(), _req(k=8), _req(op="cluster")):
+                assert ex.execute(req)["status"] == "ok"
+            stats = ex.hierarchies.stats()
+            assert stats["builds"] == 1
+            assert stats["hits"] == 3
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_hierarchy_key_ignores_post_coarsening_knobs(self):
+        assert hierarchy_key(_req(k=2)) == hierarchy_key(_req(k=64))
+        assert hierarchy_key(_req(refinement="fm")) == \
+            hierarchy_key(_req(refinement="spectral"))
+        assert hierarchy_key(_req(seed=0)) != hierarchy_key(_req(seed=1))
+        assert hierarchy_key(_req(oom=False)) != hierarchy_key(_req(oom=True))
+
+    def test_lru_bound_evicts(self):
+        cache = HierarchyCache(max_entries=2)
+        for seed in range(3):
+            cache.put(hierarchy_key(_req(seed=seed)), object(), object())
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert not cache.peek(hierarchy_key(_req(seed=0)))
+
+
+class TestPooledBatch:
+    def test_pooled_rows_byte_identical(self):
+        ex = ServeExecutor(jobs=2)
+        try:
+            reqs = [_req(), _req(op="coarsen", graph="citation")]
+            for r in reqs:
+                ex.registry.graph(r["graph"], r["seed"])
+            resps = ex.execute_batch(list(reqs))
+            assert [r["meta"]["hierarchy"] for r in resps] == ["pooled", "pooled"]
+            for req, resp, task in zip(reqs, resps, (
+                ExperimentTask(kind="partition", graph="ppa",
+                               refinement="fm", oom=False),
+                ExperimentTask(kind="coarsen", graph="citation", oom=False),
+            )):
+                assert _canon(resp["row"]) == _canon(_execute(task))
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_oom_twins_do_not_collide(self):
+        """Same config ± the OOM flag must not share one pooled row."""
+        ex = ServeExecutor(jobs=2)
+        try:
+            resps = ex.execute_batch([_req(graph="citation"),
+                                      _req(graph="citation", oom=True)])
+            assert all(r["status"] == "ok" for r in resps)
+            assert resps[0]["row"]["peak_mem"] != resps[1]["row"]["peak_mem"]
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_jobs1_never_pools(self):
+        ex = ServeExecutor(jobs=1)
+        assert not ex.poolable(_req())
+
+
+# -------------------------------------------------- in-process server
+
+
+@pytest.fixture()
+def server(tmp_path):
+    srv = Server(ServerConfig(socket_path=str(tmp_path / "serve.sock"),
+                              drain_timeout=5.0))
+    srv.start()
+    wait_for_server(srv.config.socket_path, timeout=10.0)
+    yield srv
+    srv.stop()
+    _no_own_segments()
+
+
+class TestServer:
+    def test_ping_and_status(self, server):
+        with ServeClient(server.config.socket_path) as client:
+            pong = client.request({"op": "ping"})
+            assert pong["status"] == "ok" and pong["pid"] == os.getpid()
+            status = client.request({"op": "status"})
+            assert status["queue_max"] == server.config.queue_max
+            assert "hierarchy" in status and "counters" in status
+
+    def test_served_row_byte_identical_to_batch(self, server):
+        with ServeClient(server.config.socket_path) as client:
+            resp = client.request(_req())
+        assert resp["status"] == "ok"
+        batch_row = _execute(ExperimentTask(
+            kind="partition", graph="ppa", refinement="fm", oom=False))
+        assert _canon(resp["row"]) == _canon(batch_row)
+
+    def test_invalid_request_is_typed_error(self, server):
+        with ServeClient(server.config.socket_path) as client:
+            resp = client.request({"op": "frobnicate"})
+            assert resp["status"] == "error"
+            assert resp["kind"] == "ProtocolError"
+            # the connection survives a bad request
+            assert client.request({"op": "ping"})["status"] == "ok"
+
+    def test_admission_rejects_when_queue_full(self, tmp_path):
+        srv = Server(ServerConfig(socket_path=str(tmp_path / "adm.sock"),
+                                  queue_max=1, batch_max=1, drain_timeout=8.0))
+        # first request hangs in the dispatcher; the second fills the
+        # queue; everything after that must get the typed rejection
+        faultinject.install("serve.exec:hang:sleep=1.5,times=1")
+        srv.start()
+        wait_for_server(srv.config.socket_path, timeout=10.0)
+        results = {}
+
+        def send(tag):
+            with ServeClient(srv.config.socket_path, timeout=60.0) as c:
+                results[tag] = c.request(_req())
+
+        try:
+            t1 = threading.Thread(target=send, args=("hung",))
+            t1.start()
+            deadline = time.monotonic() + 5.0
+            while srv._inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert srv._inflight == 1  # dispatcher is inside the hang
+            t2 = threading.Thread(target=send, args=("queued",))
+            t2.start()
+            deadline = time.monotonic() + 5.0
+            while srv._queue.qsize() == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            send("overflow")  # queue full: synchronous typed rejection
+            assert results["overflow"]["status"] == "rejected"
+            assert results["overflow"]["reason"] == "queue-full"
+            t1.join(30.0)
+            t2.join(30.0)
+            assert results["hung"]["status"] == "ok"
+            assert results["queued"]["status"] == "ok"
+            assert srv.counters["rejected_full"] == 1
+        finally:
+            srv.stop()
+        _no_own_segments()
+
+    def test_stop_rejects_new_work_typed(self, server):
+        server._stopping.set()
+        with ServeClient(server.config.socket_path) as client:
+            resp = client.request(_req())
+        assert resp == {"status": "rejected", "reason": "shutting-down"}
+
+    def test_stop_unlinks_socket_and_segments(self, tmp_path):
+        srv = Server(ServerConfig(socket_path=str(tmp_path / "gone.sock")))
+        srv.start()
+        wait_for_server(srv.config.socket_path, timeout=10.0)
+        with ServeClient(srv.config.socket_path) as client:
+            assert client.request(_req(op="coarsen"))["status"] == "ok"
+        assert srv.executor.registry.resident()  # a graph went resident
+        srv.stop()
+        assert not Path(srv.config.socket_path).exists()
+        _no_own_segments()
+
+
+# ------------------------------------------------- the real daemon
+
+
+class TestDaemonProcess:
+    def _spawn(self, tmp_path, *extra, faults=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop(faultinject.ENV_VAR, None)
+        if faults:
+            env[faultinject.ENV_VAR] = faults
+        sock = tmp_path / "daemon.sock"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--socket", str(sock),
+             "--log-dir", str(tmp_path / "log"), "--drain-timeout", "8", *extra],
+            cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            wait_for_server(str(sock), timeout=60.0)
+        except TimeoutError:
+            proc.kill()
+            out, _ = proc.communicate(timeout=10)
+            raise AssertionError(f"daemon never came up:\n{out.decode()}")
+        return proc, str(sock)
+
+    def test_sigterm_drains_inflight_and_cleans_up(self, tmp_path):
+        # the armed hang keeps one request in flight across the SIGTERM
+        proc, sock = self._spawn(
+            tmp_path, faults="serve.exec:hang:sleep=1.5,times=1")
+        results = {}
+
+        def send():
+            with ServeClient(sock, timeout=60.0) as c:
+                results["resp"] = c.request(_req())
+
+        t = threading.Thread(target=send)
+        try:
+            with ServeClient(sock) as probe:
+                pid = probe.request({"op": "ping"})["pid"]
+            t.start()
+            time.sleep(0.5)  # request is inside the 1.5 s hang
+            proc.send_signal(signal.SIGTERM)
+            t.join(30.0)
+            assert results["resp"]["status"] == "ok"  # drained, not dropped
+            assert proc.wait(timeout=30) == 0
+            # cleanup ladder: socket unlinked, no segments owned by the pid
+            assert not Path(sock).exists()
+            leaked = [s for s in shm_lifecycle.list_segments()
+                      if s["pid"] == pid]
+            assert leaked == [], leaked
+            # journal: started, served the request, then a final record
+            records, _ = SessionJournal.scan(tmp_path / "log" / "journal.jsonl")
+            types = [r["type"] for r in records]
+            assert types[0] == "serve-start"
+            assert "served" in types
+            assert types[-1] == "serve-end"
+            served = [r for r in records if r["type"] == "served"]
+            assert served[0]["key"] == "partition:gpu:hec:sort:fm:ppa:s0"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_request_cli_roundtrip(self, tmp_path):
+        proc, sock = self._spawn(tmp_path)
+        try:
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(REPO_ROOT / "src")
+            out_dir = tmp_path / "traces"
+            cli = subprocess.run(
+                [sys.executable, "-m", "repro.serve", "request",
+                 "--socket", sock, "--op", "partition", "--graph", "ppa",
+                 "--refinement", "fm", "--trace-dir", str(out_dir)],
+                cwd=REPO_ROOT, env=env, capture_output=True, timeout=120,
+            )
+            assert cli.returncode == 0, cli.stdout.decode() + cli.stderr.decode()
+            results = json.loads((out_dir / "results.json").read_text())
+            assert results[0]["graph"] == "ppa"
+            assert (out_dir / "partition-gpu-hec-sort-fm-ppa-0.trace.json").exists()
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+
+
+# ------------------------------------------------------------ loadtest
+
+
+class TestLoadtestHarness:
+    def test_build_mix_deterministic_and_covers_ops(self):
+        mix = build_mix(32, ["ppa", "citation"], seed=3)
+        assert mix == build_mix(32, ["ppa", "citation"], seed=3)
+        assert len(mix) == 32
+        assert all(r["seed"] == 3 for r in mix)
+        ops = {(r["op"], r.get("k")) for r in mix}
+        assert ("coarsen", None) in ops
+        assert ("cluster", None) in ops
+        assert ("partition", 2) in ops and ("partition", 64) in ops
+        assert {r["graph"] for r in mix} == {"ppa", "citation"}
+
+    def test_percentile_nearest_rank(self):
+        vals = [float(v) for v in range(1, 101)]
+        assert percentile(vals, 50) == 50.0
+        assert percentile(vals, 100) == 100.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+    def test_merge_and_compare(self, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        entry = {
+            "overall": {"p50_ms": 10.0, "p99_ms": 50.0},
+            "hierarchy": {"hit_rate": 0.9},
+        }
+        merge_bench_file(path, "cfg", entry)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == 1 and "cfg" in doc["configs"]
+        # same numbers: passes
+        assert compare_against(entry, path, "cfg", max_regression=0.5) == 0
+        # blown p99: fails
+        worse = {"overall": {"p50_ms": 10.0, "p99_ms": 500.0},
+                 "hierarchy": {"hit_rate": 0.9}}
+        assert compare_against(worse, path, "cfg", max_regression=0.5) == 1
+        # collapsed hit-rate: fails
+        cold = {"overall": {"p50_ms": 10.0, "p99_ms": 50.0},
+                "hierarchy": {"hit_rate": 0.5}}
+        assert compare_against(cold, path, "cfg", max_regression=0.5) == 1
+        # unknown config key: hard error
+        assert compare_against(entry, path, "nope", max_regression=0.5) == 2
+
+    def test_merge_preserves_other_configs(self, tmp_path):
+        path = tmp_path / "b.json"
+        merge_bench_file(path, "a", {"x": 1})
+        merge_bench_file(path, "b", {"x": 2})
+        doc = json.loads(path.read_text())
+        assert set(doc["configs"]) == {"a", "b"}
+
+    def test_committed_baseline_matches_loadtest_key(self):
+        """CI replays n=160/c=4/j=1 over ppa,citation — pin the key."""
+        doc = json.loads((REPO_ROOT / "BENCH_serving.json").read_text())
+        assert doc["schema"] == 1
+        assert "ppa,citation:n160:c4:j1" in doc["configs"]
+        entry = doc["configs"]["ppa,citation:n160:c4:j1"]
+        assert entry["overall"]["p50_ms"] > 0
+        assert entry["hierarchy"]["hit_rate"] > 0.9

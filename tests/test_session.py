@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import subprocess
 import sys
 import time
@@ -637,3 +638,97 @@ class TestGraphValidation:
         assert stats.quarantines == 1 and stats.migrations == 0
         assert not (tmp_path / "ppa-s0-2.npz").exists()
         assert (tmp_path / "quarantine").exists()
+
+
+class TestSignalCleanup:
+    """install_signal_cleanup: SIG_IGN honoured, idempotent, chains."""
+
+    @pytest.fixture()
+    def _restore_usr1(self):
+        previous = signal.getsignal(signal.SIGUSR1)
+        yield
+        signal.signal(signal.SIGUSR1, previous)
+        shm_lifecycle._CLEANUP_HANDLERS.pop(signal.SIGUSR1, None)
+
+    def _register_segment(self):
+        from multiprocessing import shared_memory
+
+        name = next(shm_lifecycle.segment_names())
+        seg = shared_memory.SharedMemory(create=True, size=64, name=name)
+        shm_lifecycle.register(seg)
+        return name
+
+    def test_sig_ign_stays_nonfatal_but_releases(self, _restore_usr1):
+        signal.signal(signal.SIGUSR1, signal.SIG_IGN)
+        shm_lifecycle.install_signal_cleanup(signals=(signal.SIGUSR1,))
+        name = self._register_segment()
+        os.kill(os.getpid(), signal.SIGUSR1)  # must not kill this process
+        assert name not in shm_lifecycle._LIVE
+        assert not any(s["name"] == name for s in shm_lifecycle.list_segments())
+
+    def test_double_install_is_idempotent(self, _restore_usr1):
+        fired = []
+        signal.signal(signal.SIGUSR1, lambda s, f: fired.append(s))
+        shm_lifecycle.install_signal_cleanup(signals=(signal.SIGUSR1,))
+        installed = signal.getsignal(signal.SIGUSR1)
+        shm_lifecycle.install_signal_cleanup(signals=(signal.SIGUSR1,))
+        assert signal.getsignal(signal.SIGUSR1) is installed  # not re-wrapped
+        os.kill(os.getpid(), signal.SIGUSR1)
+        assert fired == [signal.SIGUSR1]  # the chained handler ran once
+
+    def test_callable_previous_handler_still_runs(self, _restore_usr1):
+        fired = []
+        signal.signal(signal.SIGUSR1, lambda s, f: fired.append("previous"))
+        shm_lifecycle.install_signal_cleanup(signals=(signal.SIGUSR1,))
+        name = self._register_segment()
+        os.kill(os.getpid(), signal.SIGUSR1)
+        assert fired == ["previous"]
+        assert name not in shm_lifecycle._LIVE
+
+    def test_sig_dfl_still_dies_after_cleanup(self, tmp_path):
+        script = (
+            "import os, signal\n"
+            "from multiprocessing import shared_memory\n"
+            "from repro.parallel import shm\n"
+            "signal.signal(signal.SIGTERM, signal.SIG_DFL)\n"
+            "shm.install_signal_cleanup(signals=(signal.SIGTERM,))\n"
+            "name = next(shm.segment_names())\n"
+            "shm.register(shared_memory.SharedMemory(create=True, size=64, name=name))\n"
+            "print(name, flush=True)\n"
+            "os.kill(os.getpid(), signal.SIGTERM)\n"
+            "print('UNREACHABLE')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=REPO_ROOT, env=env, capture_output=True, timeout=60,
+        )
+        assert proc.returncode == -signal.SIGTERM  # default disposition kept
+        name = proc.stdout.decode().split()[0]
+        assert "UNREACHABLE" not in proc.stdout.decode()
+        assert not any(s["name"] == name for s in shm_lifecycle.list_segments())
+
+
+class TestPresharedDescriptors:
+    def test_run_session_uses_caller_owned_segments(self):
+        """descriptors= skips publish and leaves the segments alive."""
+        from repro.parallel.pool import _release, publish_corpus
+
+        descriptors, handles, _sizes = publish_corpus(
+            [(t.graph, t.seed) for t in TASKS]
+        )
+        try:
+            outcome = run_session(TASKS, jobs=2, descriptors=descriptors)
+            assert len(outcome.results) == len(TASKS)
+            assert outcome.failed == []
+            # the session must NOT have released the caller's segments
+            names = {h.name for h in handles}
+            live = {s["name"] for s in shm_lifecycle.list_segments()}
+            assert names <= live
+            # rows match a serial run bit for bit
+            serial = run_session(TASKS, jobs=1)
+            assert _rows_key(outcome.results) == _rows_key(serial.results)
+        finally:
+            _release(handles)
+        _no_leaks()
