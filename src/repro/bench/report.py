@@ -163,15 +163,18 @@ WALLCLOCK_SCHEMA = 2
 
 
 def wallclock_key(machine: str, coarsener: str, constructor: str, seed: int,
-                  jobs: int = 1) -> str:
+                  jobs: int = 1, tier: str = "base") -> str:
     """Config key of one wall-clock baseline entry.
 
     Parallel runs (``jobs > 1``) gate against their own ``:jN`` entry:
     in-worker repetition times include whatever core/bandwidth
     contention that worker count causes, so comparing them against a
     serial baseline would misread contention as a kernel regression.
+    Non-base scale tiers likewise gate against their own ``:xN`` entry.
     """
     key = f"{machine}:{coarsener}:{constructor}:s{seed}"
+    if tier != "base":
+        key = f"{key}:{tier}"
     return f"{key}:j{jobs}" if jobs > 1 else key
 
 
@@ -278,18 +281,30 @@ def _resolve_jobs(args) -> int:
     return default_jobs() if jobs == 0 else max(1, jobs)
 
 
+def _budget_bytes(args) -> int | None:
+    """``--memory-budget`` resolved to bytes (None when unset)."""
+    text = getattr(args, "memory_budget", None)
+    if not text:
+        return None
+    from ..storage.budget import parse_budget
+
+    return parse_budget(text)
+
+
 def _task_from_args(kind: str, graph: str, args, **overrides):
+    from ..generators.tiers import tier_name
     from ..parallel.pool import ExperimentTask
 
     return ExperimentTask(
         kind=kind,
-        graph=graph,
+        graph=tier_name(graph, getattr(args, "tier", "base")),
         machine=args.machine,
         coarsener=args.coarsener,
         constructor=args.constructor,
         refinement=getattr(args, "refinement", "spectral"),
         seed=args.seed,
         oom=args.oom,
+        memory_budget=_budget_bytes(args),
         **overrides,
     )
 
@@ -366,7 +381,7 @@ def _cmd_corpus_wallclock(args) -> int:
     totals = [sum(rep) for rep in zip(*times.values())]
 
     key = wallclock_key(args.machine, args.coarsener, args.constructor,
-                        args.seed, jobs)
+                        args.seed, jobs, tier=getattr(args, "tier", "base"))
     entry = {
         "config": {"machine": args.machine, "coarsener": args.coarsener,
                    "constructor": args.constructor, "seed": args.seed,
@@ -477,6 +492,15 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--coarsener", default="hec")
         p.add_argument("--constructor", default="sort")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--tier", choices=("base", "x10", "x100"), default="base",
+                       help="scale tier: run on the 10x/100x out-of-core "
+                            "replica of each graph (cached as a mapped "
+                            ".csrdir artifact) instead of the base graph")
+        p.add_argument("--memory-budget", default=None, metavar="BYTES",
+                       help="resident-memory ceiling for kernel transients "
+                            "(e.g. 64M, 1G); kernels above it stream "
+                            "row-aligned windows and spill to disk — "
+                            "results stay byte-identical")
         p.add_argument("--oom", action="store_true",
                        help="enable the paper-scale OOM simulation")
         p.add_argument("--jobs", type=int, default=1,
@@ -537,6 +561,16 @@ def main(argv: list[str] | None = None) -> int:
              "process is dead (orphans of SIGKILL'd sessions)",
     )
 
+    p_scale = sub.add_parser(
+        "scale",
+        help="run scale-tier coarsenings in budgeted child processes, "
+             "measure true peak RSS per child, and gate against "
+             "BENCH_rss.json",
+    )
+    from .scale import add_scale_args
+
+    add_scale_args(p_scale)
+
     p_serve = sub.add_parser(
         "serve",
         help="forward to the serving daemon CLI (python -m repro.serve)",
@@ -555,11 +589,40 @@ def main(argv: list[str] | None = None) -> int:
         faultinject.install(args.faults)
     if args.command == "gc-shm":
         return _cmd_gc_shm(args)
+    if args.command == "scale":
+        from .scale import cmd_scale
+
+        return cmd_scale(args)
     from ..parallel import shm as shm_lifecycle
 
     shm_lifecycle.install_signal_cleanup()
-    return {"coarsen": _cmd_coarsen, "partition": _cmd_partition,
-            "corpus": _cmd_corpus}[args.command](args)
+    rc = {"coarsen": _cmd_coarsen, "partition": _cmd_partition,
+          "corpus": _cmd_corpus}[args.command](args)
+    _check_rss_ceiling()
+    return rc
+
+
+def _check_rss_ceiling() -> None:
+    """Enforce ``REPRO_RSS_CEILING_MB`` on this process's true peak RSS.
+
+    The scale runner exports the ceiling into each child it spawns; a
+    chunked run whose resident high-water mark exceeds it exits non-zero
+    here, turning a silent memory regression into a hard CI failure.
+    """
+    import os
+
+    ceiling = os.environ.get("REPRO_RSS_CEILING_MB")
+    if not ceiling:
+        return
+    import resource
+
+    peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    peak_mb = peak_kib / 1024.0  # Linux reports KiB
+    if peak_mb > float(ceiling):
+        raise SystemExit(
+            f"peak RSS {peak_mb:.1f} MB exceeded REPRO_RSS_CEILING_MB={ceiling}"
+        )
+    print(f"peak RSS {peak_mb:.1f} MB within ceiling {ceiling} MB")
 
 
 if __name__ == "__main__":  # pragma: no cover

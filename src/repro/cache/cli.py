@@ -107,11 +107,18 @@ def cmd_gc(cache: ArtifactCache, args) -> int:
         cap = args.max_bytes
     else:
         cap = int(args.max_mb * 1024 * 1024)
+    # snapshot sizes first: gc deletes the sidecars that record them
+    sizes = {m.get("key"): m.get("size", 0) for m in cache.entries()}
     evicted = cache.gc(cap)
+    reclaimed = sum(sizes.get(key, 0) for key in evicted)
+    if args.json:
+        print(json.dumps({"evicted": evicted, "reclaimed_bytes": reclaimed,
+                          "max_bytes": cap}, indent=2))
+        return 0
     print(f"evicted {len(evicted)} entr{'y' if len(evicted) == 1 else 'ies'} "
-          f"to fit {_fmt_bytes(cap)}")
+          f"({_fmt_bytes(reclaimed)} reclaimed) to fit {_fmt_bytes(cap)}")
     for key in evicted:
-        print(f"  {key}")
+        print(f"  {key}  ({_fmt_bytes(sizes.get(key, 0))})")
     return 0
 
 

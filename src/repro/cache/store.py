@@ -26,6 +26,7 @@ import hashlib
 import itertools
 import json
 import os
+import shutil
 import time
 import warnings
 import zipfile
@@ -34,7 +35,7 @@ from typing import Callable
 
 from .. import faultinject
 
-from .atomic import atomic_write_bytes, is_temp_file
+from .atomic import TMP_MARKER, atomic_write_bytes, is_temp_file
 from .lock import FileLock
 from .stats import CacheStats, StatsFile
 
@@ -97,8 +98,27 @@ def fingerprint_payload(payload: dict) -> str:
 
 
 def _sha256(path: Path, chunk: int = 1 << 20) -> tuple[str, int]:
+    """Checksum + size of a file, or of a whole *directory artifact*.
+
+    Directory entries (mapped graphs) hash every file's relative path
+    and contents in sorted order, so any added, removed, renamed, or
+    altered file changes the digest.
+    """
     h = hashlib.sha256()
     size = 0
+    path = Path(path)
+    if path.is_dir():
+        for f in sorted(p for p in path.rglob("*") if p.is_file()):
+            h.update(f.relative_to(path).as_posix().encode())
+            h.update(b"\0")
+            with open(f, "rb") as fh:
+                while True:
+                    buf = fh.read(chunk)
+                    if not buf:
+                        break
+                    h.update(buf)
+                    size += len(buf)
+        return h.hexdigest(), size
     with open(path, "rb") as f:
         while True:
             buf = f.read(chunk)
@@ -107,6 +127,17 @@ def _sha256(path: Path, chunk: int = 1 << 20) -> tuple[str, int]:
             h.update(buf)
             size += len(buf)
     return h.hexdigest(), size
+
+
+def _delete_path(path: Path) -> None:
+    """Remove a cache entry path: file or directory artifact alike."""
+    try:
+        if path.is_dir() and not path.is_symlink():
+            shutil.rmtree(path)
+        else:
+            path.unlink()
+    except FileNotFoundError:
+        pass
 
 
 class ArtifactCache:
@@ -279,6 +310,63 @@ class ArtifactCache:
         self._stats.add(delta)
         return obj
 
+    def get_or_create_path(
+        self,
+        key: str,
+        fingerprint: str,
+        build: Callable[[Path], None],
+        load: Callable[[Path], object],
+        *,
+        ext: str,
+    ):
+        """Like :meth:`get_or_create`, but materialised straight on disk.
+
+        ``build(tmp_path)`` creates the artifact — a file **or a whole
+        directory** — at a temp path inside the cache root; on success
+        it is renamed atomically over the entry path and the sidecar is
+        written with a directory-aware checksum.  The artifact never
+        takes an in-memory detour, which is the point: a mapped x100
+        tier is streamed to disk shard by shard.
+
+        Unlike :meth:`get_or_create` there is no uncached degradation on
+        store failure — the on-disk entry *is* the object — so build or
+        rename errors propagate after the temp path is cleaned up.
+        """
+        delta = CacheStats()
+        obj = self._try_load(key, fingerprint, load, ext, delta)
+        if obj is not None:
+            self._stats.add(delta)
+            return obj
+
+        delta = CacheStats()
+        with FileLock(self.lock_path(key)):
+            obj = self._try_load(key, fingerprint, load, ext, delta)
+            if obj is not None:
+                self._stats.add(delta)
+                return obj
+
+            had_entry = self._quarantine_bad_entry(key, fingerprint, ext, delta)
+            faultinject.fire("cache.store", key=key)
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.root / f"{key}{TMP_MARKER}p{os.getpid()}{ext}"
+            _delete_path(tmp)  # stale leftover from a killed builder
+            t0 = time.perf_counter()
+            try:
+                build(tmp)
+                os.replace(tmp, self.data_path(key, ext))
+            except BaseException:
+                _delete_path(tmp)
+                raise
+            delta.generation_seconds += time.perf_counter() - t0
+            meta = self._write_sidecar(key, fingerprint, ext)
+            delta.bytes_written += meta["size"]
+            delta.misses += 1
+            if had_entry:
+                delta.regenerations += 1
+            obj = load(self.data_path(key, ext))
+        self._stats.add(delta)
+        return obj
+
     def put(self, key: str, fingerprint: str, obj, save, *, ext: str = ".npz") -> None:
         """Store ``obj`` unconditionally (atomic data + sidecar) under lock."""
         delta = CacheStats()
@@ -366,7 +454,7 @@ class ArtifactCache:
         delta.bytes_written += data.stat().st_size
         self._write_sidecar(key, fingerprint, ext)
 
-    def _write_sidecar(self, key, fingerprint, ext, generation_seconds: float | None = None) -> None:
+    def _write_sidecar(self, key, fingerprint, ext, generation_seconds: float | None = None) -> dict:
         digest, size = _sha256(self.data_path(key, ext))
         meta = {
             "schema": CACHE_SCHEMA,
@@ -384,6 +472,7 @@ class ArtifactCache:
             json.dumps(meta, indent=1, sort_keys=True).encode(),
             durable=self.durable,
         )
+        return meta
 
     # ------------------------------------------------------- observability
     def stats(self) -> CacheStats:
@@ -419,13 +508,15 @@ class ArtifactCache:
             except CacheEntryError as e:
                 report["entries"].append({"key": key, "ok": False, "reason": str(e)})
         for p in self.root.iterdir():
-            if p.is_dir() or p.name in (STATS_NAME,) or p.suffix == ".lock":
+            if p.name in (STATS_NAME, QUARANTINE_DIR, LOCKS_DIR) or p.suffix == ".lock":
                 continue
             if p.name.endswith(META_SUFFIX) or p.name.endswith(".lock"):
                 continue
             if is_temp_file(p):
                 report["temp"].append(p.name)
                 continue
+            if p.is_dir() and p.stem in seen_keys:
+                continue  # directory artifact with its sidecar
             if p.stem not in seen_keys:
                 report["legacy"].append(p.name)
         return report
@@ -484,7 +575,7 @@ class ArtifactCache:
                 continue
             if f["state"] == "temp":
                 try:
-                    (self.root / f["key"]).unlink()
+                    _delete_path(self.root / f["key"])
                     moved += 1
                 except OSError:
                     pass
@@ -507,11 +598,9 @@ class ArtifactCache:
         if not self.root.is_dir():
             return 0
         for p in list(self.root.iterdir()):
-            if p.is_dir():
+            if p.name in (QUARANTINE_DIR, LOCKS_DIR, STATS_NAME) or p.suffix == ".lock":
                 continue
-            if p.name == STATS_NAME or p.suffix == ".lock":
-                continue
-            p.unlink()
+            _delete_path(p)  # directory artifacts (.csrdir) delete whole
             removed += 1
         for sub in (LOCKS_DIR,):
             d = self.root / sub
@@ -520,7 +609,7 @@ class ArtifactCache:
                     p.unlink()
         if include_quarantine and self.quarantine_dir().is_dir():
             for p in self.quarantine_dir().iterdir():
-                p.unlink()
+                _delete_path(p)
                 removed += 1
         self._stats.reset()
         return removed
@@ -534,8 +623,8 @@ class ArtifactCache:
         """
         evicted = []
         for p in list(self.root.iterdir()):
-            if p.is_file() and is_temp_file(p):
-                p.unlink()
+            if is_temp_file(p) and p.name not in (QUARANTINE_DIR, LOCKS_DIR):
+                _delete_path(p)  # orphaned in-flight file or directory
         entries = [m for m in self.entries() if m.get("key")]
         total = sum(m.get("size", 0) for m in entries)
         delta = CacheStats()
@@ -543,11 +632,8 @@ class ArtifactCache:
             if total <= max_bytes:
                 break
             key, ext = meta["key"], meta.get("ext", ".npz")
-            for path in (self.data_path(key, ext), self.meta_path(key)):
-                try:
-                    path.unlink()
-                except FileNotFoundError:
-                    pass
+            _delete_path(self.data_path(key, ext))
+            _delete_path(self.meta_path(key))
             total -= meta.get("size", 0)
             delta.evictions += 1
             evicted.append(key)

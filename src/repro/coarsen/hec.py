@@ -31,6 +31,9 @@ from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
 from ..parallel.primitives import gen_perm, segment_max_index
 from ..parallel.wavekernels import ClaimState
+from ..storage import budget as _budget
+from ..storage import chunked as _chunked
+from ..storage import mapped as _mapped
 from ..types import UNMAPPED, VI
 from .base import CoarseMapping, register_coarsener
 
@@ -44,6 +47,26 @@ __all__ = [
 
 _B = 8
 
+#: chunked heavy-neighbor live bytes per window entry (ewgts + adjncy
+#: views + segment-max scratch)
+_HEAVY_BPE = 3 * _B
+
+
+def _heavy_neighbors_chunked(g: CSRGraph, b) -> np.ndarray:
+    """Row-windowed heavy-neighbor scan, byte-identical to the full pass."""
+    b.note_engaged()
+    h = np.full(g.n, UNMAPPED, dtype=VI)
+    degs = g.degrees()
+    win = b.window_entries(_HEAVY_BPE)
+    for r0, r1, e0, e1 in _chunked.row_windows(g.xadj, win):
+        b.note_window(e1 - e0, _HEAVY_BPE)
+        xw = np.asarray(g.xadj[r0 : r1 + 1]) - e0
+        idx = segment_max_index(None, g.ewgts[e0:e1], xw, lengths=degs[r0:r1])
+        adj_w = np.asarray(g.adjncy[e0:e1])
+        h[r0:r1] = np.where(idx >= 0, adj_w[np.clip(idx, 0, None)], UNMAPPED)
+        _mapped.advise_dontneed(g)
+    return h
+
 
 def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "mapping") -> np.ndarray:
     """``H[u]`` = neighbour of ``u`` with the maximum edge weight.
@@ -51,9 +74,21 @@ def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "m
     Ties resolve to the earliest adjacency entry, matching the strictly-
     greater comparison in the sequential pseudocode (Algorithm 3, line
     8).  Vertices with no neighbours get ``H[u] = -1``.
+
+    This is the only edge-volume pass the wave engine needs — the
+    claim/inherit fixpoint itself runs on O(n) state — so under a
+    resident-memory budget it streams row-aligned windows instead of
+    materialising the full segment-max scratch.  The constant-weight
+    fast path inside :func:`segment_max_index` picks the same first-
+    entry winner as the general first-max scan, so per-window
+    application is byte-identical no matter which path fires.
     """
-    idx = segment_max_index(None, g.ewgts, g.xadj, lengths=g.degrees())
-    h = np.where(idx >= 0, g.adjncy[np.clip(idx, 0, None)], UNMAPPED)
+    b = _budget.current()
+    if b is not None and b.engages(_HEAVY_BPE * g.m_directed):
+        h = _heavy_neighbors_chunked(g, b)
+    else:
+        idx = segment_max_index(None, g.ewgts, g.xadj, lengths=g.degrees())
+        h = np.where(idx >= 0, g.adjncy[np.clip(idx, 0, None)], UNMAPPED)
     if space is not None:
         # One coalesced sweep over adjncy + ewgts, one write of H.  The
         # reduction runs team-per-row: hub rows exceed one team's span

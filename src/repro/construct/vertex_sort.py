@@ -18,6 +18,9 @@ from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
 from ..parallel.primitives import stable_key_sort
+from ..storage import budget as _budget
+from ..storage import chunked as _chunked
+from ..storage import mapped as _mapped
 from ..types import VI, WT
 from .base import (
     coarse_vertex_weights,
@@ -29,6 +32,10 @@ from .dedup import is_skewed
 __all__ = ["construct_sort", "sorted_dedup", "sort_cost_keyops"]
 
 _B = 8
+
+#: chunked map-sweep live bytes per window entry (adjncy view + mapped
+#: pair + cross mask + packed key + estimate gathers)
+_CONSTRUCT_BPE = 5 * _B
 
 
 def sort_cost_keyops(bin_sizes: np.ndarray) -> float:
@@ -143,7 +150,18 @@ def construct_sort(g: CSRGraph, mapping: CoarseMapping, space: ExecSpace) -> CSR
     and charge-identical to ``mapped_cross_edges`` →
     ``degree_estimates`` → ``keep_lighter_end`` → ``sorted_dedup`` on
     the intermediate cross-edge arrays, which are never materialised.
+
+    Under an installed :mod:`repro.storage.budget` whose ceiling is
+    below the edge-volume transients, construction streams row-aligned
+    windows and spills compacted sort keys to disk — results, ledger
+    charges, and trace spans stay byte-identical (see
+    ``_construct_sort_regular_budgeted``).
     """
+    b = _budget.current()
+    if b is not None and b.engages(_CONSTRUCT_BPE * g.m_directed):
+        if is_skewed(g):
+            return _construct_sort_skewed_budgeted(g, mapping, space, b)
+        return _construct_sort_regular_budgeted(g, mapping, space, b)
     if not is_skewed(g):
         return _construct_sort_regular(g, mapping, space)
 
@@ -323,3 +341,317 @@ def _construct_sort_regular(g: CSRGraph, mapping: CoarseMapping, space: ExecSpac
     # searches yield the CSR row pointer directly
     xadj = np.searchsorted(key_d, row_bounds).astype(VI)
     return CSRGraph(xadj, cv, w_d, vwgts, g.name)
+
+
+# --------------------------------------------------------------------------
+# budgeted (out-of-core) variants
+#
+# The streaming discipline that keeps these byte-identical to the
+# in-memory paths above:
+#
+# * windows are row-aligned, so every reduction segment lives in one
+#   window and associates left-to-right exactly as the global call;
+# * partial bincounts of 0/1 weights sum exact integers (< 2^53), so
+#   accumulating them per window reproduces the one-shot bincount;
+# * spilled sort keys pass through an external merge sort that yields
+#   the same array np.sort would; weighted dedup packs the original
+#   index into the key word, so the sorted order equals the stable
+#   argsort and each run's weights reduce in one reduceat segment;
+# * charges are issued with the *same formulas, in the same order,
+#   inside the same spans* — window passes never charge.
+# --------------------------------------------------------------------------
+
+
+def _mapped_pair_window(m, g, degs, r0, r1, e0, e1):
+    """One window of the map sweep: ``(mu, mv, cross, adjncy slice)``."""
+    adj_w = np.asarray(g.adjncy[e0:e1])
+    mu_w = np.repeat(m[r0:r1], degs[r0:r1])
+    mv_w = m[adj_w]
+    return mu_w, mv_w, mu_w != mv_w, adj_w
+
+
+def _stream_pack_index(key_mm, arena, win, idx_bits):
+    """Re-spill bare keys as ``(key << idx_bits) + position`` words."""
+    packed_sf = arena.create("packed", np.int64)
+    for i in range(0, len(key_mm), win):
+        blk = np.asarray(key_mm[i : i + win]).astype(np.int64, copy=False)
+        packed_sf.append(
+            (blk << np.int64(idx_bits)) + (i + np.arange(len(blk), dtype=np.int64))
+        )
+    return packed_sf.finish()
+
+
+def _packable(c: int, key_bound: int) -> tuple[bool, int]:
+    idx_bits = max(1, int(c - 1).bit_length()) if c > 1 else 1
+    key_bits = max(1, int(key_bound - 1).bit_length()) if key_bound > 1 else 1
+    return idx_bits + key_bits <= 63, idx_bits
+
+
+def _construct_sort_regular_budgeted(
+    g: CSRGraph, mapping: CoarseMapping, space: ExecSpace, b
+) -> CSRGraph:
+    """Out-of-core rendering of ``_construct_sort_regular``."""
+    b.note_engaged()
+    n_c = mapping.n_c
+    m = mapping.m
+    if g.n < (1 << 31):
+        m = m.astype(np.int32)
+    shift = max(1, int(n_c - 1).bit_length()) if n_c > 1 else 1
+    unit_w = g.has_unit_ewgts()
+    key_t = (
+        np.int32
+        if unit_w and m.dtype == np.int32 and (n_c << shift) < (1 << 31)
+        else np.int64
+    )
+    degs = g.degrees()
+    win = b.window_entries(_CONSTRUCT_BPE)
+    with _chunked.SpillArena() as arena:
+        key_sf = arena.create("key", key_t)
+        w_sf = None if unit_w else arena.create("w", WT)
+        for r0, r1, e0, e1 in _chunked.row_windows(g.xadj, win):
+            b.note_window(e1 - e0, _CONSTRUCT_BPE)
+            mu_w, mv_w, cross_w, _adj = _mapped_pair_window(m, g, degs, r0, r1, e0, e1)
+            key_sf.append((mu_w * key_t(1 << shift) + mv_w)[cross_w])
+            if not unit_w:
+                w_sf.append(np.asarray(g.ewgts[e0:e1])[cross_w])
+            _mapped.advise_dontneed(g)
+        space.ledger.charge(
+            "construction",
+            KernelCost(
+                stream_bytes=3.0 * _B * g.m_directed + 2.0 * _B * g.n,
+                random_bytes=_B * g.m_directed,
+                launches=1,
+            ),
+        )
+        vwgts = coarse_vertex_weights(g, mapping, space)
+
+        c = len(key_sf)
+        key_mm = key_sf.finish()
+        row_bounds = np.arange(n_c + 1, dtype=key_t) << shift
+        with space.span("dedup", strategy="sort", skew_opt=False):
+            if unit_w:
+                key_s = _chunked.external_sort(key_mm, win, arena)
+                if c:
+                    key_d, counts = _chunked.unit_runs_stream(key_s, win)
+                    w_d = counts.astype(np.float64)
+                    cv = key_d & key_t((1 << shift) - 1)
+                else:
+                    key_d = cv = np.zeros(0, dtype=VI)
+                    w_d = np.zeros(0, dtype=WT)
+                bins = np.diff(np.searchsorted(key_s, row_bounds))
+            else:
+                w_mm = w_sf.finish()
+                ok, idx_bits = _packable(c, n_c << shift)
+                if ok:
+                    packed_mm = _stream_pack_index(key_mm, arena, win, idx_bits)
+                    packed_s = _chunked.external_sort(packed_mm, win, arena)
+                    if c:
+                        key_d, w_d = _chunked.weighted_runs_stream(
+                            packed_s, idx_bits, w_mm, win
+                        )
+                        w_d = w_d.astype(WT, copy=False)
+                        cv = key_d & np.int64((1 << shift) - 1)
+                    else:
+                        key_d = cv = np.zeros(0, dtype=VI)
+                        w_d = np.zeros(0, dtype=WT)
+                    bins = np.diff(
+                        np.searchsorted(
+                            packed_s, row_bounds.astype(np.int64) << np.int64(idx_bits)
+                        )
+                    )
+                else:  # packed word would overflow: sort the keys resident
+                    key = np.array(key_mm)
+                    w = np.array(w_mm)
+                    order, key_s = stable_key_sort(key, n_c << shift)
+                    if c:
+                        new_run = np.empty(c, dtype=bool)
+                        new_run[0] = True
+                        new_run[1:] = key_s[1:] != key_s[:-1]
+                        first = np.flatnonzero(new_run)
+                        w_d = np.add.reduceat(w[order], first).astype(WT, copy=False)
+                        key_d = key_s[first]
+                        cv = key_d & key_t((1 << shift) - 1)
+                    else:
+                        key_d = cv = np.zeros(0, dtype=VI)
+                        w_d = np.zeros(0, dtype=WT)
+                    bins = np.diff(np.searchsorted(key_s, row_bounds))
+            big = bins[bins > 1]
+            spill = (
+                4.0 * float((big * np.log2(1.0 + big / 4096.0)).sum()) if len(big) else 0.0
+            )
+            space.ledger.charge(
+                "construction",
+                KernelCost(
+                    stream_bytes=4.0 * _B * c,
+                    random_bytes=2.0 * _B * c,
+                    sort_key_ops=sort_cost_keyops(bins),
+                    spill_ops=spill,
+                    launches=3,
+                ),
+            )
+        space.ledger.charge(
+            "construction",
+            KernelCost(stream_bytes=4.0 * _B * len(cv), launches=1),
+        )
+        xadj = np.searchsorted(key_d, row_bounds).astype(VI)
+        return CSRGraph(xadj, cv, w_d, vwgts, g.name)
+
+
+def _construct_sort_skewed_budgeted(
+    g: CSRGraph, mapping: CoarseMapping, space: ExecSpace, b
+) -> CSRGraph:
+    """Out-of-core rendering of the skewed ``construct_sort`` path.
+
+    Two streaming passes over the edge windows: pass A accumulates the
+    cross count and the per-coarse-vertex cross-degree estimates
+    (partial 0/1 bincounts sum exactly); pass B re-derives the mapped
+    pair, applies the keep-side predicate with a per-window tie-break
+    (``src < adjncy`` — never the cached full-length
+    :meth:`~repro.csr.graph.CSRGraph.tie_mask`), and spills the kept
+    dedup keys.
+    """
+    b.note_engaged()
+    n_c = mapping.n_c
+    unit_w = g.has_unit_ewgts()
+    m = mapping.m
+    if g.n < (1 << 31):
+        m = m.astype(np.int32)
+    degs = g.degrees()
+    win = b.window_entries(_CONSTRUCT_BPE)
+    idx_t = np.int32 if g.n < (1 << 31) else VI
+
+    c_count = 0
+    cp_acc = np.zeros(n_c, dtype=np.float64)
+    for r0, r1, e0, e1 in _chunked.row_windows(g.xadj, win):
+        b.note_window(e1 - e0, _CONSTRUCT_BPE)
+        mu_w, _mv, cross_w, _adj = _mapped_pair_window(m, g, degs, r0, r1, e0, e1)
+        c_count += int(np.count_nonzero(cross_w))
+        cp_acc += np.bincount(mu_w, weights=cross_w, minlength=n_c)
+        _mapped.advise_dontneed(g)
+    space.ledger.charge(
+        "construction",
+        KernelCost(
+            stream_bytes=3.0 * _B * g.m_directed + 2.0 * _B * g.n,
+            random_bytes=_B * g.m_directed,
+            launches=1,
+        ),
+    )
+    vwgts = coarse_vertex_weights(g, mapping, space)
+
+    with space.span("dedup", strategy="sort", skew_opt=True), _chunked.SpillArena() as arena:
+        c = c_count
+        dt = np.int32 if c < (1 << 31) else VI
+        c_prime = cp_acc.astype(dt)
+        space.ledger.charge(
+            "construction",
+            KernelCost(
+                stream_bytes=_B * c + _B * n_c,
+                random_bytes=_B * c,
+                atomic_ops=float(c),
+                launches=1,
+            ),
+        )
+        shift = max(1, int(n_c - 1).bit_length()) if n_c > 1 else 1
+        key_t = (
+            np.int32
+            if m.dtype == np.int32 and (n_c << shift) < (1 << 31)
+            else np.int64
+        )
+        cp_fine = c_prime[mapping.m]
+        key_sf = arena.create("key", key_t if unit_w else np.int64)
+        w_sf = None if unit_w else arena.create("w", WT)
+        for r0, r1, e0, e1 in _chunked.row_windows(g.xadj, win):
+            mu_w, mv_w, cross_w, adj_w = _mapped_pair_window(m, g, degs, r0, r1, e0, e1)
+            cu_est = np.repeat(cp_fine[r0:r1], degs[r0:r1])
+            cv_est = cp_fine[adj_w]
+            tie_w = np.repeat(np.arange(r0, r1, dtype=idx_t), degs[r0:r1]) < adj_w
+            keep_w = cross_w & ((cu_est < cv_est) | ((cu_est == cv_est) & tie_w))
+            if unit_w:
+                key_sf.append((mu_w * key_t(1 << shift) + mv_w)[keep_w])
+            else:
+                key_sf.append((mu_w * np.int64(n_c) + mv_w)[keep_w])
+                w_sf.append(np.asarray(g.ewgts[e0:e1])[keep_w])
+            _mapped.advise_dontneed(g)
+        space.ledger.charge(
+            "construction",
+            KernelCost(
+                stream_bytes=3.0 * _B * c,
+                random_bytes=2.0 * _B * c,
+                launches=1,
+            ),
+        )
+        total = len(key_sf)
+        key_mm = key_sf.finish()
+        if unit_w:
+            key_s = _chunked.external_sort(key_mm, win, arena)
+            if total:
+                key_d, counts = _chunked.unit_runs_stream(key_s, win)
+                mu_d = key_d >> shift
+                mv_d = key_d & key_t((1 << shift) - 1)
+                w_d = counts.astype(WT)
+            else:
+                mu_d = mv_d = np.zeros(0, dtype=VI)
+                w_d = np.zeros(0, dtype=WT)
+            bins = np.diff(
+                np.searchsorted(key_s, np.arange(n_c + 1, dtype=key_t) << shift)
+            )
+        else:
+            w_mm = w_sf.finish()
+            bounds = np.arange(n_c + 1, dtype=np.int64) * np.int64(n_c)
+            ok, idx_bits = _packable(total, n_c * n_c)
+            if ok:
+                packed_mm = _stream_pack_index(key_mm, arena, win, idx_bits)
+                packed_s = _chunked.external_sort(packed_mm, win, arena)
+                if total:
+                    key_d, w_d = _chunked.weighted_runs_stream(
+                        packed_s, idx_bits, w_mm, win
+                    )
+                    w_d = w_d.astype(WT, copy=False)
+                    mu_d = key_d // np.int64(n_c)
+                    mv_d = key_d % np.int64(n_c)
+                else:
+                    mu_d = mv_d = np.zeros(0, dtype=VI)
+                    w_d = np.zeros(0, dtype=WT)
+                bins = np.diff(np.searchsorted(packed_s, bounds << np.int64(idx_bits)))
+            else:  # packed word would overflow: sort the keys resident
+                mu_k = np.array(key_mm) // np.int64(n_c)
+                mv_k = np.array(key_mm) % np.int64(n_c)
+                w_k = np.array(w_mm)
+                order, key_s = stable_key_sort(np.array(key_mm), n_c * n_c)
+                if total:
+                    new_run = np.empty(total, dtype=bool)
+                    new_run[0] = True
+                    new_run[1:] = key_s[1:] != key_s[:-1]
+                    first = np.flatnonzero(new_run)
+                    w_d = np.add.reduceat(w_k[order], first).astype(WT, copy=False)
+                    mu_d, mv_d = mu_k[order][first], mv_k[order][first]
+                else:
+                    mu_d = mv_d = np.zeros(0, dtype=VI)
+                    w_d = np.zeros(0, dtype=WT)
+                bins = np.diff(np.searchsorted(key_s, bounds))
+        big = bins[bins > 1]
+        spill = (
+            4.0 * float((big * np.log2(1.0 + big / 4096.0)).sum()) if len(big) else 0.0
+        )
+        space.ledger.charge(
+            "construction",
+            KernelCost(
+                stream_bytes=4.0 * _B * total if total else 0.0,
+                random_bytes=2.0 * _B * total if total else 0.0,
+                sort_key_ops=sort_cost_keyops(bins),
+                spill_ops=spill,
+                launches=3,
+            ),
+        )
+    mu, mv = np.concatenate([mu_d, mv_d]), np.concatenate([mv_d, mu_d])
+    w = np.concatenate([w_d, w_d])
+    space.ledger.charge(
+        "construction",
+        KernelCost(
+            stream_bytes=6.0 * _B * len(mu),
+            random_bytes=2.0 * _B * len(mu),
+            atomic_ops=float(len(mu)) / 2.0,
+            launches=2,
+        ),
+    )
+    return finalize_csr(n_c, mu, mv, w, vwgts, g.name)

@@ -138,10 +138,16 @@ class CSRGraph:
 
         Input graphs are unweighted; the flag lets kernels replace
         weight merges with run counts on the dominant level-0 volume.
+        Checked in bounded windows so a memmapped graph never
+        materialises a full-length comparison temporary.
         """
         cached = self.__dict__.get("_unit_ewgts")
         if cached is None:
-            cached = bool(np.all(self.ewgts == 1.0))
+            step = 1 << 20
+            cached = all(
+                bool(np.all(self.ewgts[i : i + step] == 1.0))
+                for i in range(0, len(self.ewgts), step)
+            )
             object.__setattr__(self, "_unit_ewgts", cached)
         return cached
 
@@ -288,6 +294,27 @@ class CSRGraph:
         )
         object.__setattr__(g, "_shm", shm)
         return g
+
+    # -- out-of-core backing ---------------------------------------------------
+
+    def to_mapped(self, path) -> "CSRGraph":
+        """Write this graph to a mapped directory and reopen it from disk.
+
+        The returned graph's arrays are read-only ``np.memmap`` views —
+        byte-identical values, out-of-core backing.  See
+        :mod:`repro.storage.mapped` for the directory format.
+        """
+        from ..storage import mapped
+
+        mapped.write_mapped(self, path)
+        return mapped.open_mapped(path)
+
+    @classmethod
+    def from_mapped(cls, path) -> "CSRGraph":
+        """Open a mapped directory written by :meth:`to_mapped`, zero-copy."""
+        from ..storage import mapped
+
+        return mapped.open_mapped(path)
 
     # -- conversions -----------------------------------------------------------
 

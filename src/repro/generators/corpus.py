@@ -12,9 +12,12 @@ benchmark suites do not pay generation on every process start.
 
 from __future__ import annotations
 
+import atexit
 import inspect
 import os
-from dataclasses import dataclass
+import shutil
+import tempfile
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable
 
@@ -28,8 +31,19 @@ from .mycielskian import mycielskian
 from .powerlaw import ba_tree, chung_lu, watts_strogatz
 from .road import road_like
 from .rgg import random_geometric
+from .tiers import TIER_SCALES, TIER_SCHEMA, materialize_tier, parse_tier_name, tier_name
 
-__all__ = ["GraphSpec", "CORPUS", "REGULAR", "SKEWED", "load", "corpus_table", "memory_scale"]
+__all__ = [
+    "GraphSpec",
+    "CORPUS",
+    "REGULAR",
+    "SKEWED",
+    "TIER_SCALES",
+    "load",
+    "load_tier",
+    "corpus_table",
+    "memory_scale",
+]
 
 
 @dataclass(frozen=True)
@@ -156,6 +170,9 @@ def load(name: str, seed: int = 0, cache: bool = True) -> tuple[CSRGraph, GraphS
     generation cost.  Pre-cache-era ``{name}-s{seed}-<version>.npz``
     files are adopted when still readable, quarantined when not.
     """
+    base, tier = parse_tier_name(name)
+    if tier != "base":
+        return load_tier(base, tier, seed=seed, cache=cache)
     spec = _BY_NAME.get(name)
     if spec is None:
         raise KeyError(f"unknown corpus graph {name!r}; known: {[s.name for s in CORPUS]}")
@@ -176,9 +193,77 @@ def load(name: str, seed: int = 0, cache: bool = True) -> tuple[CSRGraph, GraphS
     return g, spec
 
 
+#: temp tier directories from uncached loads, removed at process exit
+_TIER_TMPDIRS: list[str] = []
+
+
+def _cleanup_tier_tmpdirs() -> None:  # pragma: no cover - exit hook
+    while _TIER_TMPDIRS:
+        shutil.rmtree(_TIER_TMPDIRS.pop(), ignore_errors=True)
+
+
+atexit.register(_cleanup_tier_tmpdirs)
+
+
+def load_tier(
+    base: str, tier: str, seed: int = 0, cache: bool = True
+) -> tuple[CSRGraph, GraphSpec]:
+    """Load one scale tier of a corpus graph as a mapped (out-of-core) graph.
+
+    The tier artifact is materialised straight into the graph cache as a
+    ``.csrdir`` directory (no in-memory detour — see
+    :func:`repro.generators.tiers.materialize_tier`) and loaded back as a
+    zero-copy memmapped :class:`~repro.csr.graph.CSRGraph`.  The returned
+    spec is the base spec renamed ``base@tier``; paper-scale metadata is
+    unchanged, so the OOM projection reflects how much closer the tier
+    sits to paper scale.  ``cache=False`` builds into a process-lifetime
+    temp directory instead (removed at exit).
+    """
+    if tier not in TIER_SCALES:
+        raise KeyError(f"unknown scale tier {tier!r}; known: {sorted(TIER_SCALES)}")
+    if tier == "base":
+        return load(base, seed=seed, cache=cache)
+    spec = _BY_NAME.get(base)
+    if spec is None:
+        raise KeyError(f"unknown corpus graph {base!r}; known: {[s.name for s in CORPUS]}")
+    name = tier_name(base, tier)
+    tier_spec = replace(spec, name=name)
+    fingerprint = fingerprint_payload(
+        {
+            "tier_schema": TIER_SCHEMA,
+            "tier": tier,
+            "scale": TIER_SCALES[tier],
+            "base": _fingerprint(spec, seed),
+        }
+    )
+    if not cache:
+        from ..storage.mapped import open_mapped
+
+        tmp = tempfile.mkdtemp(prefix="repro-tier-")
+        _TIER_TMPDIRS.append(tmp)
+        path = Path(tmp) / f"{name}.csrdir"
+        materialize_tier(spec, tier, seed, path)
+        return open_mapped(path, name=name), tier_spec
+    from ..storage.store import GraphStore
+
+    store = GraphStore(_get_cache())
+    g = store.get_or_build(
+        key=f"{base}-s{seed}-{tier}",
+        fingerprint=fingerprint,
+        build=lambda tmp_path: materialize_tier(spec, tier, seed, tmp_path),
+        name=name,
+    )
+    return g, tier_spec
+
+
 def memory_scale(g: CSRGraph, spec: GraphSpec) -> float:
-    """Paper-scale projection factor for the OOM simulation."""
-    return spec.paper_size_measure / max(g.size_measure, 1)
+    """Paper-scale projection factor for the OOM simulation.
+
+    Clamped below at 1.0: once a graph's real size measure meets or
+    exceeds the paper-scale metadata (large tiers), the simulation uses
+    the actual array sizes rather than projecting them *down*.
+    """
+    return max(1.0, spec.paper_size_measure / max(g.size_measure, 1))
 
 
 def corpus_table(seed: int = 0) -> list[dict]:

@@ -1,0 +1,138 @@
+"""Scale tiers: 10x/100x replicas of a corpus graph, streamed to disk.
+
+A tier graph ``<base>@x10`` is ``T`` independently seeded copies of the
+base generator laid out on disjoint vertex ranges, chained by a sparse
+deterministic *stitch* (up to :data:`STITCH_K` unit-weight edges between
+consecutive shards) so the result is one connected graph with the base
+graph's local structure and degree profile at ``T`` times the volume.
+
+Generation is streaming by construction: only the current shard and its
+successor are ever resident (the successor's vertex count fixes the
+forward stitch), and rows go straight through a
+:class:`~repro.storage.mapped.MappedWriter` into the mapped directory
+format — the full edge list never exists in memory.  Everything is
+derived from ``(base seed, shard index)`` through ``SeedSequence``, so
+two generations of the same tier are byte-identical, manifest included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.mapped import MappedWriter
+from ..types import VI, WT
+
+__all__ = [
+    "STITCH_K",
+    "TIER_SCALES",
+    "materialize_tier",
+    "parse_tier_name",
+    "tier_name",
+]
+
+#: tier label -> number of base-scale shards
+TIER_SCALES = {"base": 1, "x10": 10, "x100": 100}
+
+#: bump when the tier layout (stitching, row order, shard seeding) changes
+TIER_SCHEMA = 1
+
+#: stitch edges between consecutive shards (clamped to shard sizes)
+STITCH_K = 64
+
+_SHARD_SALT = 0x5A4D  # shard-seed derivation namespace
+_STITCH_SALT = 0x57C4  # stitch-pair derivation namespace
+
+
+def tier_name(base: str, tier: str) -> str:
+    """The corpus name of a tier graph (``kron21`` + ``x10`` -> ``kron21@x10``)."""
+    return base if tier == "base" else f"{base}@{tier}"
+
+
+def parse_tier_name(name: str) -> tuple[str, str]:
+    """Split ``"base@tier"`` into ``(base, tier)``; bare names are base tier."""
+    base, sep, tier = name.partition("@")
+    if not sep:
+        return name, "base"
+    if tier not in TIER_SCALES:
+        raise KeyError(
+            f"unknown scale tier {tier!r} in {name!r}; known: {sorted(TIER_SCALES)}"
+        )
+    return base, tier
+
+
+def shard_seed(seed: int, index: int) -> int:
+    """The generator seed of shard ``index`` (deterministic, collision-spread)."""
+    return int(np.random.SeedSequence([_SHARD_SALT, seed, index]).generate_state(1)[0])
+
+
+def _stitch_pairs(seed: int, index: int, n_cur: int, n_nxt: int):
+    """Deduplicated ``(a, b)`` stitch pairs between shards ``index``/``index+1``."""
+    k = min(STITCH_K, n_cur, n_nxt)
+    if k == 0:
+        return np.zeros(0, dtype=VI), np.zeros(0, dtype=VI)
+    rng = np.random.default_rng(np.random.SeedSequence([_STITCH_SALT, seed, index]))
+    a = rng.integers(0, n_cur, size=k)
+    b = rng.integers(0, n_nxt, size=k)
+    packed = np.unique(a * np.int64(n_nxt) + b)
+    return (packed // np.int64(n_nxt)).astype(VI), (packed % np.int64(n_nxt)).astype(VI)
+
+
+def _shard_rows(g, off: int, left, off_prev: int, right, off_next: int):
+    """Assemble one shard's complete global rows, stitch edges included.
+
+    ``left`` is the previous stitch ``(a_prev, b_prev)`` — row ``b_prev``
+    of this shard gains neighbour ``off_prev + a_prev``; ``right`` is
+    this shard's forward stitch ``(a, b)`` — row ``a`` gains neighbour
+    ``off_next + b``.  Because ``off_prev < off <= off_next`` the three
+    target groups are disjoint ranges, so one lexsort leaves every row's
+    neighbours sorted: [backward stitch][offset intra row][forward
+    stitch].
+    """
+    rows = [np.repeat(np.arange(g.n, dtype=VI), g.degrees())]
+    tgts = [off + np.asarray(g.adjncy)]
+    wgts = [np.asarray(g.ewgts)]
+    if left is not None and len(left[0]):
+        a_prev, b_prev = left
+        rows.append(b_prev)
+        tgts.append(off_prev + a_prev)
+        wgts.append(np.ones(len(a_prev), dtype=WT))
+    if right is not None and len(right[0]):
+        a, b = right
+        rows.append(a)
+        tgts.append(off_next + b)
+        wgts.append(np.ones(len(a), dtype=WT))
+    r = np.concatenate(rows)
+    t = np.concatenate(tgts)
+    w = np.concatenate(wgts)
+    order = np.lexsort((t, r))
+    counts = np.bincount(r, minlength=g.n)
+    return counts, t[order], w[order], np.asarray(g.vwgts)
+
+
+def materialize_tier(spec, tier: str, seed: int, path) -> None:
+    """Stream the tier graph of ``spec`` into a mapped directory at ``path``.
+
+    Two-shard lookahead: shard ``i+1`` is generated before shard ``i`` is
+    written (its vertex count sizes the forward stitch), then becomes the
+    current shard — peak residency is two base-scale graphs regardless of
+    the tier scale.
+    """
+    scale = TIER_SCALES[tier]
+    with MappedWriter(path, name=tier_name(spec.name, tier)) as writer:
+        g_cur = spec.generate(shard_seed(seed, 0))
+        off = 0
+        left = None
+        off_prev = 0
+        for i in range(scale):
+            if i + 1 < scale:
+                g_nxt = spec.generate(shard_seed(seed, i + 1))
+                right = _stitch_pairs(seed, i, g_cur.n, g_nxt.n)
+                off_next = off + g_cur.n
+            else:
+                g_nxt, right, off_next = None, None, 0
+            counts, adj, w, vw = _shard_rows(g_cur, off, left, off_prev, right, off_next)
+            writer.append_rows(counts, adj, w, vw)
+            left = right
+            off_prev = off
+            off += g_cur.n
+            g_cur = g_nxt

@@ -44,6 +44,7 @@ from typing import Callable, Iterable, Sequence
 
 from .. import faultinject
 from ..csr.graph import CSRGraph
+from ..storage import mapped as mapped_storage
 from . import shm as shm_lifecycle
 
 __all__ = [
@@ -91,6 +92,10 @@ class ExperimentTask:
     wallclock: bool = False
     reps: int = 1
     warmup: int = 0
+    #: resident-byte ceiling for chunked kernels (None = in-memory paths);
+    #: results are byte-identical either way, so the key only gains a part
+    #: when a budget is set
+    memory_budget: int | None = None
 
     def key(self) -> str:
         """Configuration identity — the deterministic-merge key."""
@@ -100,6 +105,8 @@ class ExperimentTask:
         parts += [self.graph, f"s{self.seed}"]
         if self.wallclock:
             parts.append(f"wall{self.reps}w{self.warmup}")
+        if self.memory_budget is not None:
+            parts.append(f"mb{self.memory_budget}")
         return ":".join(parts)
 
 
@@ -174,7 +181,13 @@ def _scalar_row(result: dict) -> dict:
 def _execute(task: ExperimentTask) -> dict:
     """Run one task to a picklable row — shared by serial and worker paths."""
     from ..bench.harness import run_coarsening, run_partition
+    from ..storage import budget as _budget
 
+    with _budget.limit(task.memory_budget):
+        return _execute_under_budget(task, run_coarsening, run_partition)
+
+
+def _execute_under_budget(task: ExperimentTask, run_coarsening, run_partition) -> dict:
     g, spec = _worker_graph(task.graph, task.seed)
     common = dict(
         machine=task.machine,
@@ -251,6 +264,13 @@ def publish_corpus(pairs: Iterable[tuple[str, int]], *, loader=None):
         for name, seed in dict.fromkeys(pairs):
             faultinject.fire("shm.publish", graph=name)
             g, _spec = loader(name, seed)
+            if mapped_storage.is_mapped(g):
+                # out-of-core tier: already zero-copy shareable through the
+                # page cache — workers reopen the mapped directory via the
+                # artifact cache instead of a shm copy that would defeat
+                # the whole memory budget
+                sizes[(name, seed)] = g.size_measure
+                continue
             desc = shm = None
             for _ in range(16):
                 try:

@@ -27,6 +27,17 @@ snapshot visibility
     write-once per vertex, so the snapshot needs no copy — visibility
     is one vectorized stamp comparison per wave.
 
+out-of-core operation
+    The engine state itself (``M``, ``wstamp``, claim array, outcome
+    codes) is O(n) and always resident — only the *edge-volume* feeds
+    are large.  Kernels that scan edges to build a wave's lane inputs
+    (e.g. ``heavy_neighbors`` in :mod:`repro.coarsen.hec`) stream them
+    in row-aligned windows under the active
+    :class:`repro.storage.budget.MemoryBudget`, so a memmapped tier
+    graph drives the same wave resolution without ever materialising a
+    full-length edge temporary.  The wave engine is oblivious to the
+    feed's origin; budgeted and unbudgeted feeds are byte-identical.
+
 The engine state lives in :class:`ClaimState`; kernels drive it with
 :meth:`ClaimState.resolve_wave` (batched claim/create/inherit/release)
 plus the batched helpers (:meth:`ClaimState.assign_singletons`,

@@ -29,6 +29,7 @@ from collections import OrderedDict
 
 from ..generators import corpus
 from ..parallel import shm as shm_lifecycle
+from ..storage import mapped as mapped_storage
 
 __all__ = ["GraphRegistry", "HierarchyCache", "ReuseHandle", "hierarchy_key"]
 
@@ -76,6 +77,25 @@ class GraphRegistry:
         # artifact cache's own file lock already single-flights it
         g, spec = corpus.load(name, seed)
         descriptor = shm = None
+        if mapped_storage.is_mapped(g):
+            # out-of-core tier tenant: the mapped directory is already
+            # shared through the page cache, and a shm copy would pull
+            # the whole edge volume resident — serve it mapped, no
+            # degradation to record
+            with self._lock:
+                raced = self._entries.get(key)
+                if raced is not None:
+                    return raced["graph"], raced["spec"]
+                self._entries[key] = {
+                    "graph": g, "spec": spec, "descriptor": None, "shm": None,
+                }
+                self.loads += 1
+                while len(self._entries) > self.max_graphs:
+                    _, old = self._entries.popitem(last=False)
+                    self.evictions += 1
+                    if old["shm"] is not None:
+                        self._unpublish(old["shm"])
+            return g, spec
         try:
             names = shm_lifecycle.segment_names()
             descriptor, shm = g.to_shared(name=next(names))

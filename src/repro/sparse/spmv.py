@@ -14,21 +14,54 @@ import numpy as np
 from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
+from ..storage import budget as _budget
+from ..storage import chunked as _chunked
+from ..storage import mapped as _mapped
 from ..types import WT
 
 __all__ = ["spmv", "laplacian_spmv"]
 
 _B = 8
 
+#: live temporaries per window entry in the chunked path (products +
+#: gathered x + adjncy/ewgts window views)
+_SPMV_BPE = 4 * _B
+
+
+def _spmv_values_chunked(g: CSRGraph, x: np.ndarray, b) -> np.ndarray:
+    """Row-windowed ``y = A x`` — byte-identical to the global reduceat.
+
+    Every CSR row lies wholly inside one window, so each row's products
+    sum left-to-right exactly as ``np.add.reduceat`` over the full
+    arrays would associate them.
+    """
+    b.note_engaged()
+    y = np.zeros(g.n, dtype=WT)
+    win = b.window_entries(_SPMV_BPE)
+    for r0, r1, e0, e1 in _chunked.row_windows(g.xadj, win):
+        b.note_window(e1 - e0, _SPMV_BPE)
+        products = g.ewgts[e0:e1] * x[g.adjncy[e0:e1]]
+        starts = np.asarray(g.xadj[r0:r1]) - e0
+        lengths = np.diff(np.asarray(g.xadj[r0 : r1 + 1]))
+        nonempty = np.flatnonzero(lengths > 0)
+        if len(nonempty):
+            y[r0:r1][nonempty] = np.add.reduceat(products, starts[nonempty])
+        _mapped.advise_dontneed(g)
+    return y
+
 
 def spmv(g: CSRGraph, x: np.ndarray, space: ExecSpace | None = None, phase: str = "refinement") -> np.ndarray:
     """``y = A x`` for the (weighted) adjacency matrix of ``g``."""
-    y = np.zeros(g.n, dtype=WT)
-    products = g.ewgts * x[g.adjncy]
-    lengths = np.diff(g.xadj)
-    nonempty = np.flatnonzero(lengths > 0)
-    if len(nonempty):
-        y[nonempty] = np.add.reduceat(products, g.xadj[nonempty])
+    b = _budget.current()
+    if b is not None and b.engages(_SPMV_BPE * g.m_directed):
+        y = _spmv_values_chunked(g, x, b)
+    else:
+        y = np.zeros(g.n, dtype=WT)
+        products = g.ewgts * x[g.adjncy]
+        lengths = np.diff(g.xadj)
+        nonempty = np.flatnonzero(lengths > 0)
+        if len(nonempty):
+            y[nonempty] = np.add.reduceat(products, g.xadj[nonempty])
     if space is not None:
         nnz = g.m_directed
         # the x-vector gather is random *only* when x exceeds the last-
