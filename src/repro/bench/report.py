@@ -571,6 +571,16 @@ def main(argv: list[str] | None = None) -> int:
 
     add_scale_args(p_scale)
 
+    p_upd = sub.add_parser(
+        "update-stream",
+        help="sustained edge-update stream: incremental patching vs "
+             "full rebuild, gated on ledger-cost ratio and quality "
+             "tolerance (DESIGN.md 5h)",
+    )
+    from .updates import add_update_stream_args
+
+    add_update_stream_args(p_upd)
+
     p_serve = sub.add_parser(
         "serve",
         help="forward to the serving daemon CLI (python -m repro.serve)",
@@ -593,6 +603,10 @@ def main(argv: list[str] | None = None) -> int:
         from .scale import cmd_scale
 
         return cmd_scale(args)
+    if args.command == "update-stream":
+        from .updates import cmd_update_stream
+
+        return cmd_update_stream(args)
     from ..parallel import shm as shm_lifecycle
 
     shm_lifecycle.install_signal_cleanup()

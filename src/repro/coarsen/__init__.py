@@ -37,6 +37,7 @@ from .mis2 import distance2_mis, mis2_coarsen
 from .mtmetis import TWOHOP_THRESHOLD, mtmetis_coarsen
 from .suitor import suitor_coarsen, suitor_matching
 from .ace import ace_coarsen, ace_interpolation, ace_select_representatives
+from .incremental import COST_RATIO_GATE, QUALITY_TOL, patch_hierarchy
 from .multilevel import MAX_LEVELS, GraphHierarchy, coarsen_multilevel
 from .twohop import match_leaves, match_relatives, match_twins, match_twins_reference
 
@@ -72,6 +73,9 @@ __all__ = [
     "pointer_jump",
     "GraphHierarchy",
     "coarsen_multilevel",
+    "patch_hierarchy",
+    "QUALITY_TOL",
+    "COST_RATIO_GATE",
     "MAX_LEVELS",
     "suitor_coarsen",
     "suitor_matching",

@@ -84,7 +84,12 @@ def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "m
     application is byte-identical no matter which path fires.
     """
     b = _budget.current()
-    if b is not None and b.engages(_HEAVY_BPE * g.m_directed):
+    if g.m_directed == 0:
+        # edgeless graph (fully-collapsed components at a coarse level):
+        # every vertex is isolated, and the fancy-index below would poke
+        # an empty adjncy even though no index is ever selected
+        h = np.full(g.n, UNMAPPED, dtype=VI)
+    elif b is not None and b.engages(_HEAVY_BPE * g.m_directed):
         h = _heavy_neighbors_chunked(g, b)
     else:
         idx = segment_max_index(None, g.ewgts, g.xadj, lengths=g.degrees())

@@ -75,6 +75,8 @@ def coarsen_multilevel(
     tracker: MemoryTracker | None = None,
     include_transfer: bool = True,
     tape=None,
+    delta=None,
+    base: "GraphHierarchy | None" = None,
 ) -> GraphHierarchy:
     """Algorithm 1: build the hierarchy ``{G_1, ..., G_l}``.
 
@@ -89,8 +91,27 @@ def coarsen_multilevel(
     build's charges/spans/tracker calls and RNG advance so the serving
     layer can later replay them instead of re-coarsening — see
     :mod:`repro.trace.tape`.  An OOM'd build leaves the tape incomplete.
+
+    Passing ``delta`` (an :class:`~repro.csr.update.EdgeDelta` from
+    :func:`repro.csr.update.apply_edges`) together with ``base`` (the
+    hierarchy previously built for the pre-update graph) switches to
+    incremental patching: ``g`` must be the updated graph, and the call
+    delegates to :func:`repro.coarsen.incremental.patch_hierarchy`,
+    re-running matching only on the affected frontier.  ``coarsener``
+    and ``constructor`` are taken from ``base`` in that mode.
     """
     from ..construct.base import get_constructor  # local: avoid import cycle
+
+    if (delta is None) != (base is None):
+        raise ValueError("incremental mode needs both delta= and base=")
+    if delta is not None:
+        from .incremental import patch_hierarchy
+
+        return patch_hierarchy(
+            base, g, delta, space,
+            cutoff=cutoff, max_levels=max_levels, tracker=tracker,
+            include_transfer=include_transfer, tape=tape,
+        )
 
     coarsen_fn = get_coarsener(coarsener) if isinstance(coarsener, str) else coarsener
     construct_fn = get_constructor(constructor)

@@ -5,10 +5,13 @@ from .components import connected_components, is_connected, largest_component
 from .graph import CSRGraph
 from .io import load_npz, read_edge_list, read_matrix_market, save_npz, write_matrix_market
 from .ops import degree_histogram, induced_subgraph, laplacian_csr, permute, validate
+from .update import EdgeDelta, apply_edges
 from .validation import GraphValidationError, find_defects
 
 __all__ = [
     "CSRGraph",
+    "EdgeDelta",
+    "apply_edges",
     "empty",
     "from_coo",
     "from_edge_list",

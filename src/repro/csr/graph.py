@@ -24,6 +24,35 @@ __all__ = ["CSRGraph"]
 #: arrays published by :meth:`CSRGraph.to_shared`, in layout order
 _SHARED_FIELDS = ("xadj", "adjncy", "ewgts", "vwgts")
 
+#: live temporaries per window entry of the budgeted weighted-degree
+#: pass (window-local source ids + ewgts window view + bincount scratch)
+_WDEG_BPE = 3 * 8
+
+
+def _weighted_degrees_chunked(g: "CSRGraph", b) -> np.ndarray:
+    """Row-windowed weighted degrees, byte-identical to the global pass.
+
+    ``np.bincount`` accumulates strictly sequentially (unlike the
+    pairwise ``add.reduce`` family), so each window re-runs bincount on
+    window-local sources; row-aligned windows keep every row whole,
+    making the per-row accumulation order identical to the global call.
+    """
+    from ..storage import chunked as _chunked
+    from ..storage import mapped as _mapped
+
+    b.note_engaged()
+    out = np.zeros(g.n, dtype=WT)
+    degs = g.degrees()
+    win = b.window_entries(_WDEG_BPE)
+    for r0, r1, e0, e1 in _chunked.row_windows(g.xadj, win):
+        b.note_window(e1 - e0, _WDEG_BPE)
+        local_src = np.repeat(np.arange(r1 - r0, dtype=VI), degs[r0:r1])
+        out[r0:r1] = np.bincount(
+            local_src, weights=np.asarray(g.ewgts[e0:e1]), minlength=r1 - r0
+        )
+        _mapped.advise_dontneed(g)
+    return out
+
 
 def _attach_shared(name: str):
     """Attach an existing shared-memory block without taking ownership.
@@ -168,10 +197,31 @@ class CSRGraph:
         return cached
 
     def weighted_degrees(self) -> np.ndarray:
-        """Sum of incident edge weights per vertex."""
-        return np.bincount(
-            self.edge_sources(), weights=self.ewgts, minlength=self.n
-        ).astype(WT, copy=False)
+        """Sum of incident edge weights per vertex (computed once).
+
+        The spectral-uncoarsening feed: every Fiedler solve starts from
+        this degree vector.  Under a resident-memory budget the global
+        ``edge_sources()``/``bincount`` pair (which materialises a full
+        2m source array) is replaced by a row-windowed twin that reduces
+        each window's rows in place — row-aligned windows keep every
+        row whole, so the per-row left-to-right accumulation is
+        byte-identical to the global bincount.
+        """
+        cached = self.__dict__.get("_wdeg")
+        if cached is not None:
+            return cached
+        from ..storage import budget as _budget
+
+        b = _budget.current()
+        if b is not None and b.engages(_WDEG_BPE * self.m_directed):
+            out = _weighted_degrees_chunked(self, b)
+        else:
+            out = np.bincount(
+                self.edge_sources(), weights=self.ewgts, minlength=self.n
+            ).astype(WT, copy=False)
+        out.setflags(write=False)
+        object.__setattr__(self, "_wdeg", out)
+        return out
 
     def edge_sources(self) -> np.ndarray:
         """Source vertex of every stored adjacency entry (COO row index).
@@ -315,6 +365,20 @@ class CSRGraph:
         from ..storage import mapped
 
         return mapped.open_mapped(path)
+
+    # -- updates ---------------------------------------------------------------
+
+    def apply_edges(self, add=None, remove=None):
+        """Apply a batch of edge additions/removals; return (graph, delta).
+
+        See :func:`repro.csr.update.apply_edges` — the returned graph is
+        byte-identical to rebuilding the CSR from the mutated edge list,
+        and the :class:`~repro.csr.update.EdgeDelta` feeds the
+        incremental coarsening engine.
+        """
+        from .update import apply_edges
+
+        return apply_edges(self, add=add, remove=remove)
 
     # -- conversions -----------------------------------------------------------
 

@@ -44,6 +44,7 @@ from typing import Callable, Iterable, Sequence
 
 from .. import faultinject
 from ..csr.graph import CSRGraph
+from ..generators.tiers import TIER_SCALES, parse_tier_name
 from ..storage import mapped as mapped_storage
 from . import shm as shm_lifecycle
 
@@ -54,6 +55,7 @@ __all__ = [
     "PoolTimeout",
     "run_experiments",
     "publish_corpus",
+    "task_weight",
     "default_jobs",
     "format_pool_summary",
 ]
@@ -65,6 +67,32 @@ class WorkerCrash(RuntimeError):
 
 class PoolTimeout(RuntimeError):
     """The pool exceeded its wall-clock budget; workers were terminated."""
+
+
+def task_weight(graph: str, seed: int, sizes: dict) -> int:
+    """Tier-aware LPT weight of one ``(graph, seed)`` tenant.
+
+    A measured ``size_measure`` (recorded at publish time) wins.  Mapped
+    scale tiers (``name@x100``) bypass shm publication, and preshared
+    descriptor pools never measure them at all — without a fallback they
+    weigh 0 and a 100x out-of-core tenant is scheduled *last*, becoming
+    exactly the straggler LPT exists to avoid.  The fallback scales the
+    base graph's measured size by the tier factor, and when nothing was
+    measured the tier factor alone still orders tenants correctly
+    relative to each other.
+    """
+    try:
+        base, tier = parse_tier_name(graph)
+    except KeyError:  # foreign naming scheme: schedule by measurement only
+        base, tier = graph, "base"
+    scale = TIER_SCALES[tier]
+    measured = sizes.get((graph, seed))
+    if measured is not None:
+        return int(measured)
+    base_measured = sizes.get((base, seed))
+    if base_measured is not None:
+        return int(base_measured) * scale
+    return scale
 
 
 def default_jobs() -> int:
@@ -366,10 +394,10 @@ def run_experiments(
                 (t.graph, t.seed) for t in tasks
             )
             shared_bytes = sum(d["nbytes"] for d in descriptors.values())
-        # LPT: biggest graph first, original order as the tie-break
+        # LPT: biggest graph first (tier-aware), original order tie-break
         order = sorted(
             range(len(tasks)),
-            key=lambda i: (-sizes.get((tasks[i].graph, tasks[i].seed), 0), i),
+            key=lambda i: (-task_weight(tasks[i].graph, tasks[i].seed, sizes), i),
         )
         ctx = mp_context or mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"

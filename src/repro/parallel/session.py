@@ -60,6 +60,7 @@ from .pool import (
     _run_task,
     _worker_init,
     publish_corpus,
+    task_weight,
 )
 
 __all__ = [
@@ -736,11 +737,11 @@ def run_session(
                 except OSError as e:
                     state.degrade("shm.publish", "per-worker-cache-load", e)
                     descriptors, handles, sizes = {}, [], {}
-            # LPT: biggest graph first, task order as the tie-break
+            # LPT: biggest graph first (tier-aware), task order tie-break
             order = sorted(
                 remaining,
                 key=lambda i: (
-                    -sizes.get((tasks[i].graph, tasks[i].seed), 0), i
+                    -task_weight(tasks[i].graph, tasks[i].seed, sizes), i
                 ),
             )
             pending = [

@@ -50,6 +50,18 @@ def _cmd_request(args) -> int:
         reqs = json.loads(Path(args.requests).read_text())
         if not isinstance(reqs, list):
             raise SystemExit(f"{args.requests} must hold a JSON list of requests")
+    elif args.op == "update_graph":
+        def edge(spec: str, weighted: bool) -> list:
+            parts = spec.split(":")
+            if weighted and len(parts) == 3:
+                return [int(parts[0]), int(parts[1]), float(parts[2])]
+            if len(parts) != 2:
+                raise SystemExit(f"bad edge spec {spec!r}; expected U:V"
+                                 + "[:W]" * weighted)
+            return [int(parts[0]), int(parts[1])] + ([1.0] if weighted else [])
+        reqs = [{"op": "update_graph", "graph": args.graph, "seed": args.seed,
+                 "add": [edge(s, True) for s in args.add],
+                 "remove": [edge(s, False) for s in args.remove]}]
     else:
         req = {"op": args.op, "graph": args.graph, "machine": args.machine,
                "coarsener": args.coarsener, "constructor": args.constructor,
@@ -124,7 +136,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_r.add_argument("--requests", type=Path, default=None,
                      help="JSON file with a list of request objects")
     p_r.add_argument("--op", choices=("coarsen", "partition", "cluster",
-                                      "status", "ping"), default="partition")
+                                      "update_graph", "status", "ping"),
+                     default="partition")
     p_r.add_argument("--graph", default="ppa")
     p_r.add_argument("--machine", choices=("gpu", "cpu"), default="gpu")
     p_r.add_argument("--coarsener", default="hec")
@@ -135,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_r.add_argument("--oom", action="store_true")
     p_r.add_argument("--assignment", action="store_true",
                      help="include the part/cluster assignment in the response")
+    p_r.add_argument("--add", action="append", default=[], metavar="U:V[:W]",
+                     help="update_graph: add/reweight one edge (repeatable)")
+    p_r.add_argument("--remove", action="append", default=[], metavar="U:V",
+                     help="update_graph: remove one edge (repeatable)")
     p_r.add_argument("--trace-dir", type=Path, default=None,
                      help="write results.json + traces exactly like the "
                           "batch CLI (enables byte-for-byte diffing)")

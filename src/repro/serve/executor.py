@@ -46,6 +46,8 @@ def _row_from_result(result: dict) -> dict:
 
 def request_key(req: dict) -> str:
     """The batch task key a request corresponds to, where one exists."""
+    if req["op"] == "update_graph":
+        return f"update_graph:{req['graph']}:s{req['seed']}"
     if req["op"] == "coarsen":
         return ExperimentTask(
             kind="coarsen", graph=req["graph"], machine=req["machine"],
@@ -100,6 +102,8 @@ class ServeExecutor:
             return error_response(str(e) or type(e).__name__, kind=type(e).__name__)
 
     def _dispatch(self, req: dict) -> dict:
+        if req["op"] == "update_graph":
+            return self._update_graph(req)
         reuse = self.hierarchies.handle(req)
         cached_before = self.hierarchies.peek(reuse.key)
         g, spec = self.registry.graph(req["graph"], req["seed"])
@@ -133,12 +137,105 @@ class ServeExecutor:
         self.executed += 1
         return ok_response(row, key=request_key(req), meta=meta)
 
+    # ----------------------------------------------------------- updates
+
+    def _update_graph(self, req: dict) -> dict:
+        """Apply a streaming edge batch to a resident tenant.
+
+        The tenant's CSR is rebuilt through
+        :func:`repro.csr.update.apply_edges` (byte-deterministic) and
+        swapped into the registry; every cached hierarchy built on the
+        tenant is then incrementally patched through
+        :func:`repro.coarsen.incremental.patch_hierarchy` — frontier
+        re-matching only — with its replay tape extended, so later
+        requests keep hitting the cache instead of re-coarsening.
+        Hierarchies whose coarsener has no delta mode are evicted, never
+        served stale.
+        """
+        from ..csr.update import apply_edges
+
+        name, seed = req["graph"], req["seed"]
+        g, _spec = self.registry.graph(name, seed)
+        add = remove = None
+        if req["add"]:
+            au, av, aw = zip(*req["add"])
+            add = (list(au), list(av), list(aw))
+        if req["remove"]:
+            ru, rv = zip(*req["remove"])
+            remove = (list(ru), list(rv))
+        g_new, delta = apply_edges(g, add=add, remove=remove)
+        patched = evicted = 0
+        if g_new is not g:
+            self.registry.replace_graph(name, seed, g_new)
+            patched, evicted = self._patch_hierarchies(name, seed, g_new, delta)
+        row = {
+            "graph": name, "seed": seed, "n": g_new.n, "m": g_new.m,
+            **delta.summary(),
+            "hierarchies_patched": patched, "hierarchies_evicted": evicted,
+        }
+        self.executed += 1
+        return ok_response(row, key=request_key(req))
+
+    def _patch_hierarchies(self, name, seed, g_new, delta) -> tuple[int, int]:
+        """Patch (or evict) every cached hierarchy of one tenant.
+
+        Each patch records onto a fresh tape whose space resumes from
+        the base tape's post-build RNG state; the stored entry then
+        carries the *composed* tape (base events + patch events, patch
+        RNG state), so a later cache hit replays the whole lineage —
+        charges, spans, tracker calls — exactly as recorded.
+        """
+        import copy
+
+        from ..bench.harness import space_for
+        from ..coarsen.incremental import patch_hierarchy
+        from ..trace.tape import Tape
+
+        patched = evicted = 0
+        for key in self.hierarchies.keys_for(name, seed):
+            cached = self.hierarchies.entry(key)
+            if cached is None:
+                continue
+            hierarchy, tape = cached
+            machine = key[2]
+            if (
+                hierarchy.stats.get("coarsener") not in ("hec", "hec_delta")
+                or tape is None or not tape.complete
+            ):
+                self.hierarchies.evict(key)
+                evicted += 1
+                continue
+            space = space_for(machine, seed)
+            if tape.rng_state is not None:
+                space.rng.bit_generator.state = copy.deepcopy(tape.rng_state)
+            patch_tape = Tape()
+            try:
+                new_h = patch_hierarchy(
+                    hierarchy, g_new, delta, space, tape=patch_tape
+                )
+            except Exception:  # noqa: BLE001 - stale beats crashed
+                self.hierarchies.evict(key)
+                evicted += 1
+                continue
+            composed = Tape()
+            composed.machine = tape.machine
+            composed.events = list(tape.events) + list(patch_tape.events)
+            composed.rng_state = patch_tape.rng_state
+            composed.complete = True
+            self.hierarchies.replace(key, new_h, composed)
+            patched += 1
+        return patched, evicted
+
     # ------------------------------------------------------------- batch
 
     def poolable(self, req: dict) -> bool:
         """True when a request has a batch-task equivalent and is
         hierarchy-cold — the only case worth shipping to a worker."""
         if self.jobs <= 1:
+            return False
+        if self.registry.is_mutated(req["graph"], req["seed"]):
+            # a worker would reload the pristine cold-tier graph and
+            # compute rows for edges that no longer exist
             return False
         if req["op"] == "coarsen" or (req["op"] == "partition" and req["k"] == 2):
             return not self.hierarchies.peek(hierarchy_key(req))
@@ -156,8 +253,16 @@ class ServeExecutor:
         """
         responses: list[dict | None] = [None] * len(requests)
         pooled: dict[tuple, list[int]] = {}
+        # tenants an update in this very batch will mutate: keep their
+        # requests in-process so the in-order execution below preserves
+        # the submit-order view of the graph
+        mutating = {
+            (r["graph"], r["seed"]) for r in requests if r["op"] == "update_graph"
+        }
         if self.jobs > 1 and len(requests) > 1:
             for i, req in enumerate(requests):
+                if (req.get("graph"), req.get("seed")) in mutating:
+                    continue
                 if self.poolable(req):
                     # the grouping key carries ``oom`` even though the
                     # batch key does not: two requests differing only in

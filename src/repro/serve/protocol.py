@@ -26,6 +26,7 @@ import struct
 
 __all__ = [
     "MAX_FRAME",
+    "MAX_UPDATE_EDGES",
     "OPS",
     "ProtocolError",
     "send_msg",
@@ -43,7 +44,11 @@ _LEN = struct.Struct(">I")
 MAX_FRAME = 64 * 1024 * 1024
 
 #: every operation the executor understands
-OPS = ("coarsen", "partition", "cluster", "status", "ping")
+OPS = ("coarsen", "partition", "cluster", "update_graph", "status", "ping")
+
+#: refuse update batches beyond this many edges per list — a streaming
+#: client should split larger updates into multiple batches anyway
+MAX_UPDATE_EDGES = 1_000_000
 
 #: request fields with their defaults (``None`` = required)
 _FIELDS = {
@@ -60,6 +65,41 @@ _FIELDS = {
 
 class ProtocolError(ValueError):
     """Malformed frame or invalid request object."""
+
+
+def _validate_edge_list(name: str, value, *, weighted: bool) -> list:
+    """Normalize one ``update_graph`` edge list.
+
+    Entries are ``[u, v]`` or (for additions) ``[u, v, w]`` with
+    non-negative integer endpoints and a positive finite weight; the
+    default weight is 1.  Endpoint *range* is checked by the executor
+    against the actual tenant graph — the protocol layer has no n.
+    """
+    if value is None:
+        return []
+    if not isinstance(value, list):
+        raise ProtocolError(f"field {name!r} must be a list of [u, v{', w' * weighted}]")
+    if len(value) > MAX_UPDATE_EDGES:
+        raise ProtocolError(
+            f"field {name!r} holds {len(value)} edges; max {MAX_UPDATE_EDGES} per batch"
+        )
+    out = []
+    for entry in value:
+        if not isinstance(entry, (list, tuple)) or not 2 <= len(entry) <= (3 if weighted else 2):
+            raise ProtocolError(
+                f"each {name!r} entry must be [u, v{', w?' * weighted}], got {entry!r}"
+            )
+        u, v = entry[0], entry[1]
+        if not isinstance(u, int) or not isinstance(v, int) or u < 0 or v < 0:
+            raise ProtocolError(f"{name!r} endpoints must be non-negative ints, got {entry!r}")
+        w = 1.0
+        if weighted and len(entry) == 3:
+            w = entry[2]
+            if isinstance(w, bool) or not isinstance(w, (int, float)) or not w > 0 \
+                    or w != w or w in (float("inf"), float("-inf")):
+                raise ProtocolError(f"{name!r} weight must be a positive finite number, got {w!r}")
+        out.append([u, v, float(w)] if weighted else [u, v])
+    return out
 
 
 def send_msg(sock: socket.socket, obj: dict) -> None:
@@ -122,6 +162,14 @@ def validate_request(req: dict) -> dict:
     if not isinstance(graph, str) or not graph:
         raise ProtocolError(f"op {op!r} requires a graph name")
     out["graph"] = graph
+    if op == "update_graph":
+        seed = req.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ProtocolError(f"field 'seed' must be int, got {type(seed).__name__}")
+        out["seed"] = seed
+        out["add"] = _validate_edge_list("add", req.get("add"), weighted=True)
+        out["remove"] = _validate_edge_list("remove", req.get("remove"), weighted=False)
+        return out
     for name, default in _FIELDS.items():
         value = req.get(name, default)
         if not isinstance(value, type(default)):

@@ -61,8 +61,14 @@ class GraphRegistry:
         self._lock = threading.Lock()
         #: (name, seed) -> {"graph", "spec", "descriptor", "shm"}
         self._entries: OrderedDict[tuple, dict] = OrderedDict()
+        #: tenants whose resident graph diverged from the cold tier via
+        #: ``update_graph`` — pinned against LRU eviction, because a
+        #: reload through the artifact cache would silently resurrect
+        #: the pre-update edges
+        self._mutated: set[tuple] = set()
         self.loads = 0
         self.evictions = 0
+        self.mutations = 0
         self.degradations: list[dict] = []
 
     def graph(self, name: str, seed: int):
@@ -90,11 +96,7 @@ class GraphRegistry:
                     "graph": g, "spec": spec, "descriptor": None, "shm": None,
                 }
                 self.loads += 1
-                while len(self._entries) > self.max_graphs:
-                    _, old = self._entries.popitem(last=False)
-                    self.evictions += 1
-                    if old["shm"] is not None:
-                        self._unpublish(old["shm"])
+                self._evict_over_bound()
             return g, spec
         try:
             names = shm_lifecycle.segment_names()
@@ -116,12 +118,65 @@ class GraphRegistry:
                 "graph": g, "spec": spec, "descriptor": descriptor, "shm": shm,
             }
             self.loads += 1
-            while len(self._entries) > self.max_graphs:
-                _, old = self._entries.popitem(last=False)
-                self.evictions += 1
-                if old["shm"] is not None:
-                    self._unpublish(old["shm"])
+            self._evict_over_bound()
         return g, spec
+
+    def _evict_over_bound(self) -> None:
+        """LRU-evict past ``max_graphs``, skipping mutated (pinned)
+        tenants — they exist only in this process.  Caller holds the
+        lock.  When every resident tenant is mutated the bound is
+        exceeded rather than losing an update."""
+        while len(self._entries) > self.max_graphs:
+            victim = next(
+                (k for k in self._entries if k not in self._mutated), None
+            )
+            if victim is None:
+                return
+            old = self._entries.pop(victim)
+            self.evictions += 1
+            if old["shm"] is not None:
+                self._unpublish(old["shm"])
+
+    def replace_graph(self, name: str, seed: int, g) -> None:
+        """Swap a resident tenant's graph for its post-update CSR.
+
+        The old shm segment is unpublished and the new graph republished
+        under a fresh name, so a later pool fan-out attaches the updated
+        arrays; publish failure degrades to in-process-only exactly like
+        first-touch.  The tenant is marked mutated: pinned in the LRU
+        (the cold tier still holds the pre-update artifact) and excluded
+        from worker fan-out by the executor.
+        """
+        key = (name, seed)
+        descriptor = shm = None
+        if not mapped_storage.is_mapped(g):
+            try:
+                names = shm_lifecycle.segment_names()
+                descriptor, shm = g.to_shared(name=next(names))
+                shm_lifecycle.register(shm)
+            except OSError as e:
+                self.degradations.append(
+                    {"site": "serve.republish", "action": "in-process-only",
+                     "graph": name, "error": str(e)}
+                )
+                descriptor = shm = None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                if shm is not None:
+                    self._unpublish(shm)
+                raise KeyError(f"tenant {key!r} is not resident")
+            if entry["shm"] is not None:
+                self._unpublish(entry["shm"])
+            entry.update(graph=g, descriptor=descriptor, shm=shm)
+            self._entries.move_to_end(key)
+            self._mutated.add(key)
+            self.mutations += 1
+
+    def is_mutated(self, name: str, seed: int) -> bool:
+        """True when this tenant's resident graph diverged from disk."""
+        with self._lock:
+            return (name, seed) in self._mutated
 
     @staticmethod
     def _unpublish(shm) -> None:
@@ -193,6 +248,7 @@ class HierarchyCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.patches = 0
 
     def handle(self, req: dict) -> ReuseHandle:
         return ReuseHandle(self, hierarchy_key(req))
@@ -220,6 +276,31 @@ class HierarchyCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def keys_for(self, graph: str, seed: int) -> list[tuple]:
+        """Every cached config built on this (graph, seed) tenant."""
+        with self._lock:
+            return [k for k in self._entries if k[0] == graph and k[1] == seed]
+
+    def entry(self, key: tuple):
+        """Counter-neutral fetch (no hit/miss, no LRU move) — the
+        update path inspects entries without skewing the hit rate."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def replace(self, key: tuple, hierarchy, tape) -> None:
+        """Swap an entry for its patched successor (counts as a patch,
+        not a build; LRU position and bound are untouched)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries[key] = (hierarchy, tape)
+                self.patches += 1
+
+    def evict(self, key: tuple) -> None:
+        """Drop one entry (an update made it stale and unpatchable)."""
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                self.evictions += 1
+
     def stats(self) -> dict:
         with self._lock:
             lookups = self.hits + self.misses
@@ -229,5 +310,6 @@ class HierarchyCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "patches": self.patches,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }

@@ -17,9 +17,46 @@ from repro.parallel.pool import (
     format_pool_summary,
     publish_corpus,
     run_experiments,
+    task_weight,
 )
 
 CPUS = default_jobs()
+
+
+class TestTaskWeight:
+    """Tier-aware LPT: mapped tenants weigh their scale, not the base's."""
+
+    def test_measured_size_wins(self):
+        sizes = {("ppa", 0): 123, ("ppa@x100", 0): 456}
+        assert task_weight("ppa", 0, sizes) == 123
+        assert task_weight("ppa@x100", 0, sizes) == 456
+
+    def test_tier_scales_base_measurement(self):
+        # no measurement for the mapped tenant itself: scale the base's
+        sizes = {("ppa", 0): 1000}
+        assert task_weight("ppa@x10", 0, sizes) == 10_000
+        assert task_weight("ppa@x100", 0, sizes) == 100_000
+
+    def test_tier_scale_alone_as_last_resort(self):
+        assert task_weight("ppa", 0, {}) == 1
+        assert task_weight("ppa@x100", 0, {}) == 100
+        # unknown-tier names fall back to base weighting
+        assert task_weight("weird@name", 0, {}) == 1
+
+    def test_lpt_orders_mapped_tenant_first(self):
+        sizes = {("ppa", 0): 1000, ("citation", 0): 3000}
+        tasks = [
+            ExperimentTask(kind="coarsen", graph="citation"),
+            ExperimentTask(kind="coarsen", graph="ppa@x100"),
+            ExperimentTask(kind="coarsen", graph="ppa"),
+        ]
+        order = sorted(
+            range(len(tasks)),
+            key=lambda i: (-task_weight(tasks[i].graph, tasks[i].seed, sizes), i),
+        )
+        # the x100 tenant (weight 100_000) must lead despite the base
+        # graph measuring smaller than citation
+        assert [tasks[i].graph for i in order] == ["ppa@x100", "citation", "ppa"]
 
 
 def _tree_bytes(root):

@@ -285,6 +285,114 @@ class TestHierarchyReuse:
         assert not cache.peek(hierarchy_key(_req(seed=0)))
 
 
+def _new_edge_for(g):
+    """A (u, v) pair guaranteed absent from ``g``."""
+    import numpy as np
+
+    for u in range(g.n):
+        row = set(np.asarray(g.adjncy[g.xadj[u]:g.xadj[u + 1]]).tolist())
+        for v in range(g.n - 1, -1, -1):
+            if v != u and v not in row:
+                return u, v
+    raise AssertionError("graph is complete")
+
+
+def _update_req(graph="ppa", seed=0, add=None, remove=None):
+    return {"op": "update_graph", "graph": graph, "seed": seed,
+            "add": add or [], "remove": remove or []}
+
+
+class TestUpdateGraph:
+    def test_validate_normalizes_and_rejects(self):
+        out = protocol.validate_request(
+            {"op": "update_graph", "graph": "ppa", "add": [[1, 2]],
+             "remove": None})
+        assert out == {"op": "update_graph", "graph": "ppa", "seed": 0,
+                       "add": [[1, 2, 1.0]], "remove": []}
+        for bad in (
+            {"op": "update_graph", "graph": "ppa", "add": [[1]]},
+            {"op": "update_graph", "graph": "ppa", "add": [[1, -2]]},
+            {"op": "update_graph", "graph": "ppa", "add": [[1, 2, 0.0]]},
+            {"op": "update_graph", "graph": "ppa",
+             "remove": [[1, 2, 3.0]]},
+            {"op": "update_graph", "graph": "ppa", "seed": "x"},
+        ):
+            with pytest.raises(ProtocolError):
+                protocol.validate_request(bad)
+
+    def test_update_patches_cached_hierarchy_and_pins_tenant(self):
+        ex = ServeExecutor(jobs=2)
+        try:
+            built = ex.execute(_req())
+            assert built["meta"]["hierarchy"] == "build"
+            g, _spec = ex.registry.graph("ppa", 0)
+            u, v = _new_edge_for(g)
+
+            resp = ex.execute(_update_req(add=[[u, v, 2.5]]))
+            assert resp["status"] == "ok"
+            row = resp["row"]
+            assert row["applied_adds"] == 1
+            assert row["hierarchies_patched"] == 1
+            assert row["hierarchies_evicted"] == 0
+            assert ex.hierarchies.stats()["patches"] == 1
+
+            # the mutated tenant is pinned out of worker pooling: the
+            # pool would reload the pristine on-disk graph.  Probe with
+            # a hierarchy-cold config, which would otherwise pool.
+            assert ex.registry.is_mutated("ppa", 0)
+            assert not ex.poolable(_req(constructor="vertex"))
+
+            # later requests hit the patched hierarchy, not a rebuild
+            after = ex.execute(_req())
+            assert after["status"] == "ok"
+            assert after["meta"]["hierarchy"] == "hit"
+            assert after["row"] != built["row"]  # the graph really changed
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_update_evicts_non_delta_hierarchies(self):
+        ex = ServeExecutor()
+        try:
+            ex.execute(_req(coarsener="hem"))
+            g, _spec = ex.registry.graph("ppa", 0)
+            u, v = _new_edge_for(g)
+            resp = ex.execute(_update_req(add=[[u, v, 2.5]]))
+            assert resp["row"]["hierarchies_patched"] == 0
+            assert resp["row"]["hierarchies_evicted"] == 1
+            assert ex.hierarchies.stats()["entries"] == 0
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_noop_update_leaves_everything_alone(self):
+        ex = ServeExecutor(jobs=2)
+        try:
+            ex.execute(_req())
+            g, _spec = ex.registry.graph("ppa", 0)
+            u, v = _new_edge_for(g)
+            resp = ex.execute(_update_req(remove=[[u, v]]))
+            assert resp["status"] == "ok"
+            assert resp["row"]["applied_removes"] == 0
+            assert resp["row"]["hierarchies_patched"] == 0
+            assert not ex.registry.is_mutated("ppa", 0)
+            assert ex.poolable(_req(constructor="vertex"))
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_out_of_range_update_is_typed_error(self):
+        ex = ServeExecutor()
+        try:
+            g, _spec = ex.registry.graph("ppa", 0)
+            resp = ex.execute(_update_req(add=[[0, g.n + 7, 1.0]]))
+            assert resp["status"] == "error"
+            assert ex.errors == 1
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+
 class TestPooledBatch:
     def test_pooled_rows_byte_identical(self):
         ex = ServeExecutor(jobs=2)
