@@ -163,19 +163,24 @@ WALLCLOCK_SCHEMA = 2
 
 
 def wallclock_key(machine: str, coarsener: str, constructor: str, seed: int,
-                  jobs: int = 1, tier: str = "base") -> str:
+                  jobs: int = 1, tier: str = "base", threads: int = 1) -> str:
     """Config key of one wall-clock baseline entry.
 
     Parallel runs (``jobs > 1``) gate against their own ``:jN`` entry:
     in-worker repetition times include whatever core/bandwidth
     contention that worker count causes, so comparing them against a
     serial baseline would misread contention as a kernel regression.
-    Non-base scale tiers likewise gate against their own ``:xN`` entry.
+    Non-base scale tiers likewise gate against their own ``:xN`` entry,
+    and tile-threaded runs (``--threads M > 1``) against ``:tM`` —
+    their wall-clock is *expected* to differ from serial even though
+    the results are byte-identical.
     """
     key = f"{machine}:{coarsener}:{constructor}:s{seed}"
     if tier != "base":
         key = f"{key}:{tier}"
-    return f"{key}:j{jobs}" if jobs > 1 else key
+    if jobs > 1:
+        key = f"{key}:j{jobs}"
+    return f"{key}:t{threads}" if threads > 1 else key
 
 
 def _legacy_wallclock_key(doc: dict) -> str:
@@ -274,11 +279,26 @@ def _emit(rows: list[dict], columns, title: str, args, summary: dict | None = No
 
 
 def _resolve_jobs(args) -> int:
-    """``--jobs`` resolution: default 1 (serial), 0 = every usable core."""
+    """``--jobs`` resolution: default 1 (serial), 0 = every usable core.
+
+    Explicit values are clamped to the machine's core count — more
+    worker processes than cores only adds contention, and combined with
+    ``--threads`` would oversubscribe quadratically.
+    """
+    import os
+
     from ..parallel.pool import default_jobs
 
     jobs = getattr(args, "jobs", 1)
-    return default_jobs() if jobs == 0 else max(1, jobs)
+    jobs = default_jobs() if jobs == 0 else max(1, jobs)
+    return min(jobs, max(1, os.cpu_count() or 1))
+
+
+def _resolve_threads(args) -> int:
+    """``--threads`` resolution (None = ``REPRO_THREADS`` or 1; 0 = all cores)."""
+    from ..parallel import tiles
+
+    return tiles.resolve_threads(getattr(args, "threads", None))
 
 
 def _budget_bytes(args) -> int | None:
@@ -320,6 +340,7 @@ def _run_session(tasks, args):
         retries=getattr(args, "retries", 2),
         task_timeout=getattr(args, "task_timeout", None),
         validate_corpus=getattr(args, "validate_corpus", False),
+        threads=_resolve_threads(args),
     )
 
 
@@ -363,6 +384,7 @@ def _cmd_corpus_wallclock(args) -> int:
     from ..parallel.pool import format_pool_summary
 
     jobs = _resolve_jobs(args)
+    threads = _resolve_threads(args)
     tasks = [
         _task_from_args("coarsen", spec.name, args, wallclock=True,
                         reps=args.reps, warmup=args.warmup)
@@ -381,12 +403,14 @@ def _cmd_corpus_wallclock(args) -> int:
     totals = [sum(rep) for rep in zip(*times.values())]
 
     key = wallclock_key(args.machine, args.coarsener, args.constructor,
-                        args.seed, jobs, tier=getattr(args, "tier", "base"))
+                        args.seed, jobs, tier=getattr(args, "tier", "base"),
+                        threads=threads)
     entry = {
         "config": {"machine": args.machine, "coarsener": args.coarsener,
                    "constructor": args.constructor, "seed": args.seed,
                    "reps": args.reps, "warmup": args.warmup},
         "jobs": jobs,
+        "threads": threads,
         "per_graph_best_s": {k: round(v, 6) for k, v in best.items()},
         "per_graph_best_sum_s": round(sum(best.values()), 6),
         "per_graph_median_s": {k: round(v, 6) for k, v in med.items()},
@@ -398,7 +422,7 @@ def _cmd_corpus_wallclock(args) -> int:
     print(f"[{key}] per-graph-best-sum {entry['per_graph_best_sum_s']:.4f} s  "
           f"median-sum {entry['per_graph_median_sum_s']:.4f} s  "
           f"(suite wall {entry['suite_wall_s']:.4f} s, jobs {jobs}, "
-          f"{args.reps} reps + {args.warmup} warmup)")
+          f"threads {threads}, {args.reps} reps + {args.warmup} warmup)")
     if jobs > 1 or _had_faults(out.summary):
         print(format_pool_summary(out.summary))
     if args.wallclock_out is not None:
@@ -507,6 +531,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="worker processes (default 1 = serial in-process; "
                             "0 = every usable core); results are bitwise "
                             "identical to a serial run at any value")
+        p.add_argument("--threads", type=int, default=None,
+                       help="tile-parallel threads inside each run (default: "
+                            "REPRO_THREADS or 1; 0 = every usable core); "
+                            "combined with --jobs the per-worker budget is "
+                            "clamped so jobs x threads <= cores; results are "
+                            "bitwise identical to serial at any value")
         p.add_argument("--retries", type=int, default=2,
                        help="retry a failed/crashed/hung task this many times "
                             "before quarantining it (default 2)")

@@ -24,13 +24,73 @@ import sys
 import time
 from pathlib import Path
 
-__all__ = ["add_scale_args", "cmd_scale", "RSS_SCHEMA"]
+__all__ = [
+    "add_scale_args",
+    "cmd_scale",
+    "merge_rss_file",
+    "rss_key",
+    "rss_reference",
+    "RSS_SCHEMA",
+]
 
-RSS_SCHEMA = 1
+#: multi-config baseline: one file, one ``configs`` entry per gated
+#: (machine, coarsener, constructor, seed, tier, threads) tuple — the
+#: x10 and x100 smoke tiers coexist instead of overwriting each other
+RSS_SCHEMA = 2
 
 #: small skewed pair: exercises the keep-side streaming path and still
 #: finishes quickly enough for a CI smoke job
 DEFAULT_GRAPHS = "citation,ppa"
+
+
+def rss_key(machine: str, coarsener: str, constructor: str, seed: int,
+            tier: str, threads: int = 1) -> str:
+    """Config key of one RSS baseline entry (mirrors ``wallclock_key``)."""
+    key = f"{machine}:{coarsener}:{constructor}:s{seed}:{tier}"
+    return f"{key}:t{threads}" if threads > 1 else key
+
+
+def _legacy_rss_key(doc: dict) -> str:
+    cfg = doc.get("config", {})
+    return rss_key(
+        cfg.get("machine", "gpu"),
+        cfg.get("coarsener", "hec"),
+        cfg.get("constructor", "sort"),
+        cfg.get("seed", 0),
+        cfg.get("tier", "x10"),
+    )
+
+
+def merge_rss_file(path: Path, key: str, entry: dict) -> None:
+    """Insert/replace one config entry in an RSS baseline file.
+
+    Schema-1 files (one top-level config, PR 8) are adopted as a single
+    entry under their legacy key, so adding the x100 smoke config never
+    discards the committed x10 baseline.
+    """
+    doc = {"schema": RSS_SCHEMA, "configs": {}}
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except ValueError:
+            old = {}
+        if isinstance(old.get("configs"), dict):
+            doc["configs"] = dict(old["configs"])
+        elif "per_graph" in old:
+            doc["configs"][_legacy_rss_key(old)] = {
+                k: v for k, v in old.items() if k != "schema"
+            }
+    doc["configs"][key] = entry
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def rss_reference(ref: dict, key: str) -> dict | None:
+    """Find the entry gating ``key`` in a baseline file (any schema)."""
+    if isinstance(ref.get("configs"), dict):
+        return ref["configs"].get(key)
+    if "per_graph" in ref and _legacy_rss_key(ref) == key:
+        return ref
+    return None
 
 
 def add_scale_args(p) -> None:
@@ -44,6 +104,10 @@ def add_scale_args(p) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--memory-budget", default="32M", metavar="BYTES",
                    help="resident ceiling handed to each child (default 32M)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="tile-parallel threads inside each child (default: "
+                        "REPRO_THREADS or 1; 0 = every usable core); results "
+                        "are bitwise identical to serial at any value")
     p.add_argument("--rss-ceiling-mb", type=float, default=None,
                    metavar="MB",
                    help="hard peak-RSS ceiling exported to children as "
@@ -60,8 +124,14 @@ def add_scale_args(p) -> None:
                         "the reference (default 1.0; host timing is noisy)")
 
 
+def _resolved_threads(args) -> int:
+    from ..parallel.tiles import resolve_threads
+
+    return resolve_threads(getattr(args, "threads", None))
+
+
 def _child_cmd(graph: str, args) -> list[str]:
-    return [
+    cmd = [
         sys.executable, "-m", "repro.bench", "coarsen",
         "--graph", graph,
         "--tier", args.tier,
@@ -71,6 +141,10 @@ def _child_cmd(graph: str, args) -> list[str]:
         "--seed", str(args.seed),
         "--memory-budget", args.memory_budget,
     ]
+    threads = _resolved_threads(args)
+    if threads > 1:
+        cmd += ["--threads", str(threads)]
+    return cmd
 
 
 def _run_child(graph: str, args) -> dict:
@@ -108,29 +182,36 @@ def cmd_scale(args) -> int:
         print(f"ERROR: {len(failed)} scale child(ren) failed")
         return 1
 
+    threads = _resolved_threads(args)
+    key = rss_key(args.machine, args.coarsener, args.constructor, args.seed,
+                  args.tier, threads)
     entry = {
-        "schema": RSS_SCHEMA,
         "config": {
             "tier": args.tier, "machine": args.machine,
             "coarsener": args.coarsener, "constructor": args.constructor,
             "seed": args.seed, "memory_budget": args.memory_budget,
         },
+        "threads": threads,
         "per_graph": {
             r["graph"]: {"peak_rss_mb": r["peak_rss_mb"], "wall_s": r["wall_s"]}
             for r in rows
         },
     }
     if args.rss_out is not None:
-        args.rss_out.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {args.rss_out}")
+        merge_rss_file(args.rss_out, key, entry)
+        print(f"wrote {args.rss_out} [{key}]")
     if args.compare_rss is not None:
-        return _gate(entry, args)
+        return _gate(entry, key, args)
     return 0
 
 
-def _gate(entry: dict, args) -> int:
+def _gate(entry: dict, key: str, args) -> int:
     ref = json.loads(args.compare_rss.read_text())
-    ref_graphs = ref.get("per_graph", {})
+    ref_entry = rss_reference(ref, key)
+    if ref_entry is None:
+        print(f"ERROR: no entry for config {key!r} in {args.compare_rss}")
+        return 2
+    ref_graphs = ref_entry.get("per_graph", {})
     bad = 0
     for name, got in entry["per_graph"].items():
         want = ref_graphs.get(name)

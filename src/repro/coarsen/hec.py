@@ -30,6 +30,7 @@ from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
 from ..parallel.primitives import gen_perm, segment_max_index
+from ..parallel import tiles as _tiles
 from ..parallel.wavekernels import ClaimState
 from ..storage import budget as _budget
 from ..storage import chunked as _chunked
@@ -68,6 +69,31 @@ def _heavy_neighbors_chunked(g: CSRGraph, b) -> np.ndarray:
     return h
 
 
+def _heavy_neighbors_tiled(g: CSRGraph, eng) -> np.ndarray:
+    """Tile-parallel heavy-neighbor scan, byte-identical to the full pass.
+
+    Same row-aligned decomposition as the budget windows; each tile's
+    per-window ``segment_max_index`` picks the same first-max winner as
+    the global call (rows never straddle tiles), and tiles write the
+    disjoint ``h[r0:r1]`` slices.  One wrinkle the budgeted twin shares:
+    the constant-weight fast path inside ``segment_max_index`` tests the
+    *tile's* weight slice, but first-entry winners are what the general
+    first-max scan picks for constant slices anyway, so the bytes agree
+    no matter which path fires per tile.
+    """
+    h = np.full(g.n, UNMAPPED, dtype=VI)
+    degs = g.degrees()
+
+    def tile(r0, r1, e0, e1):
+        xw = np.asarray(g.xadj[r0 : r1 + 1]) - e0
+        idx = segment_max_index(None, g.ewgts[e0:e1], xw, lengths=degs[r0:r1])
+        adj_w = np.asarray(g.adjncy[e0:e1])
+        h[r0:r1] = np.where(idx >= 0, adj_w[np.clip(idx, 0, None)], UNMAPPED)
+
+    eng.run_tiles(tile, eng.row_tiles(g.xadj))
+    return h
+
+
 def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "mapping") -> np.ndarray:
     """``H[u]`` = neighbour of ``u`` with the maximum edge weight.
 
@@ -84,6 +110,7 @@ def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "m
     application is byte-identical no matter which path fires.
     """
     b = _budget.current()
+    t = _tiles.current()
     if g.m_directed == 0:
         # edgeless graph (fully-collapsed components at a coarse level):
         # every vertex is isolated, and the fancy-index below would poke
@@ -91,6 +118,8 @@ def heavy_neighbors(g: CSRGraph, space: ExecSpace | None = None, phase: str = "m
         h = np.full(g.n, UNMAPPED, dtype=VI)
     elif b is not None and b.engages(_HEAVY_BPE * g.m_directed):
         h = _heavy_neighbors_chunked(g, b)
+    elif t is not None and t.engaged(g.m_directed):
+        h = _heavy_neighbors_tiled(g, t)
     else:
         idx = segment_max_index(None, g.ewgts, g.xadj, lengths=g.degrees())
         h = np.where(idx >= 0, g.adjncy[np.clip(idx, 0, None)], UNMAPPED)

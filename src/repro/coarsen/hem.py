@@ -23,6 +23,7 @@ from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
 from ..parallel.primitives import gen_perm, segment_max_index
+from ..parallel import tiles as _tiles
 from ..parallel.wavekernels import ClaimState
 from ..types import UNMAPPED, VI
 from .base import CoarseMapping, register_coarsener
@@ -74,7 +75,33 @@ def unmatched_heavy_neighbors(
     starts, stops = g.xadj[queue], g.xadj[queue + 1]
     lengths = stops - starts
     total = int(lengths.sum())
-    if total:
+    t = _tiles.current()
+    if total and t is not None and t.engaged(total):
+        # tile-parallel twin: lane-aligned tiles of the queued adjacency.
+        # The lane pointer depends only on the queue (deterministic
+        # algorithm state) and the tile constant; lanes never straddle a
+        # tile, so each tile's segment argmax picks the same first-max
+        # winner as the global scan, and tiles write disjoint h[q0:q1].
+        lane_xadj = np.zeros(len(queue) + 1, dtype=VI)
+        np.cumsum(lengths, out=lane_xadj[1:])
+
+        def tile(q0, q1, e0, e1):
+            local_xadj = lane_xadj[q0 : q1 + 1] - e0
+            lane_l = np.repeat(np.arange(q1 - q0, dtype=VI), lengths[q0:q1])
+            idx_w = (
+                np.arange(e1 - e0, dtype=VI)
+                - local_xadj[lane_l]
+                + starts[q0:q1][lane_l]
+            )
+            nbr_w = g.adjncy[idx_w]
+            wt_w = np.where(m[nbr_w] == UNMAPPED, g.ewgts[idx_w], -np.inf)
+            best_w = segment_max_index(None, wt_w, local_xadj)
+            ok_w = best_w >= 0
+            ok_w[ok_w] &= np.isfinite(wt_w[best_w[ok_w]])
+            h[q0:q1][ok_w] = nbr_w[best_w[ok_w]]
+
+        t.run_tiles(tile, t.row_tiles(lane_xadj))
+    elif total:
         lane = np.repeat(np.arange(len(queue), dtype=VI), lengths)
         lane_xadj = np.zeros(len(queue) + 1, dtype=VI)
         np.cumsum(lengths, out=lane_xadj[1:])

@@ -17,6 +17,7 @@ from ..coarsen.base import CoarseMapping
 from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
+from ..parallel import tiles as _tiles
 from ..parallel.primitives import stable_key_sort
 from ..storage import budget as _budget
 from ..storage import chunked as _chunked
@@ -69,6 +70,8 @@ def sorted_dedup(
     ``packed`` with ``mu``/``mv`` as ``None``.
     """
     total = len(packed if packed is not None else mu)
+    t = _tiles.current()
+    eng = t if t is not None and t.engaged(total) else None
     if w is None:
         # power-of-two radix: same (mu, mv) lex order, and the pair
         # unpacks from the sorted key with a shift and a mask; the key
@@ -84,7 +87,12 @@ def sorted_dedup(
                 else np.int64
             )
             key = mu * key_t(1 << shift) + mv
-        key.sort()
+        if eng is not None:
+            # bare keys are multiset-canonical: tiled runs + pairwise
+            # merges reproduce np.sort bitwise (see repro.parallel.tiles)
+            _tiles.parallel_sort(key, eng)
+        else:
+            key.sort()
         # the sorted key makes each source's bin contiguous: bin sizes
         # come from n_c boundary searches instead of a scatter-add
         bins = np.diff(np.searchsorted(key, np.arange(n_c + 1, dtype=key_t) << shift))
@@ -104,7 +112,7 @@ def sorted_dedup(
             w = np.zeros(0, dtype=WT)
     else:
         # one stable radix sort of the fused (mu, mv) key == lexsort((mv, mu))
-        order, key = stable_key_sort(mu * np.int64(n_c) + mv, n_c * n_c)
+        order, key = stable_key_sort(mu * np.int64(n_c) + mv, n_c * n_c, eng=eng)
         mu, mv, w = mu[order], mv[order], w[order]
         bins = np.diff(np.searchsorted(key, np.arange(n_c + 1, dtype=np.int64) * np.int64(n_c)))
         if total:
@@ -258,17 +266,6 @@ def _construct_sort_regular(g: CSRGraph, mapping: CoarseMapping, space: ExecSpac
     m = mapping.m
     if g.n < (1 << 31):
         m = m.astype(np.int32)  # halves the bandwidth of the edge-wise gathers
-    mu = np.repeat(m, g.degrees())
-    mv = m[g.adjncy]
-    cross = mu != mv
-    space.ledger.charge(
-        "construction",
-        KernelCost(
-            stream_bytes=3.0 * _B * g.m_directed + 2.0 * _B * g.n,
-            random_bytes=_B * g.m_directed,
-            launches=1,
-        ),
-    )
     # compress the narrow id pair first, fuse the sort key only for the
     # surviving cross edges.  The radix is the next power of two above
     # n_c so the pair unpacks with a shift and a mask instead of an
@@ -283,22 +280,67 @@ def _construct_sort_regular(g: CSRGraph, mapping: CoarseMapping, space: ExecSpac
     unit_w = g.has_unit_ewgts()
     key_t = (
         np.int32
-        if unit_w and mu.dtype == np.int32 and (n_c << shift) < (1 << 31)
+        if unit_w and m.dtype == np.int32 and (n_c << shift) < (1 << 31)
         else np.int64
     )
-    # fuse over the full arrays, then compress once: one boolean-mask
-    # pass instead of two
-    key = (mu * key_t(1 << shift) + mv)[cross]
-    w = None if unit_w else g.ewgts[cross]
+    t = _tiles.current()
+    if t is not None and t.engaged(g.m_directed):
+        # tile-parallel map sweep: per-tile key fragments concatenated
+        # in tile order equal the fused-then-compressed global array
+        # (row tiles partition edge space in row order)
+        degs = g.degrees()
+
+        def tile(r0, r1, e0, e1):
+            mu_w, mv_w, cross_w, _adj = _mapped_pair_window(m, g, degs, r0, r1, e0, e1)
+            frag = (mu_w * key_t(1 << shift) + mv_w)[cross_w]
+            if unit_w:
+                return frag, None
+            return frag, np.asarray(g.ewgts[e0:e1])[cross_w]
+
+        parts = t.map_tiles(tile, t.row_tiles(g.xadj))
+        key = (
+            np.concatenate([p[0] for p in parts])
+            if parts
+            else np.zeros(0, dtype=key_t)
+        )
+        w = (
+            None
+            if unit_w
+            else (
+                np.concatenate([p[1] for p in parts])
+                if parts
+                else np.zeros(0, dtype=WT)
+            )
+        )
+    else:
+        mu = np.repeat(m, g.degrees())
+        mv = m[g.adjncy]
+        cross = mu != mv
+        # fuse over the full arrays, then compress once: one boolean-mask
+        # pass instead of two
+        key = (mu * key_t(1 << shift) + mv)[cross]
+        w = None if unit_w else g.ewgts[cross]
+    space.ledger.charge(
+        "construction",
+        KernelCost(
+            stream_bytes=3.0 * _B * g.m_directed + 2.0 * _B * g.n,
+            random_bytes=_B * g.m_directed,
+            launches=1,
+        ),
+    )
     vwgts = coarse_vertex_weights(g, mapping, space)
 
     c = len(key)
     with space.span("dedup", strategy="sort", skew_opt=False):
+        eng = t if t is not None and t.engaged(c) else None
         if unit_w:
-            key.sort()
+            if eng is not None:
+                _tiles.parallel_sort(key, eng)
+            else:
+                key.sort()
             key_s = key
         else:
-            order, key_s = stable_key_sort(key, n_c << shift)
+            order, key_s = stable_key_sort(key, n_c << shift, eng=eng)
         if c:
             new_run = np.empty(c, dtype=bool)
             new_run[0] = True

@@ -156,11 +156,18 @@ _WORKER_GRAPHS: dict = {}
 _WORKER_DEGRADATIONS: list = []
 
 
-def _worker_init(descriptors: dict | None) -> None:
+def _worker_init(descriptors: dict | None, threads: int | None = None) -> None:
     global _DESCRIPTORS
     _DESCRIPTORS = dict(descriptors or {})
     _WORKER_GRAPHS.clear()
     _WORKER_DEGRADATIONS.clear()
+    if threads is not None:
+        # per-worker tile-thread budget (already clamped by the caller so
+        # jobs x threads <= cores); exported to any nested children too
+        from . import tiles
+
+        tiles.configure(threads)
+        os.environ["REPRO_THREADS"] = str(threads)
 
 
 def _worker_graph(name: str, seed: int):
@@ -351,8 +358,14 @@ def run_experiments(
     mp_context=None,
     timeout: float | None = None,
     share_corpus: bool = True,
+    threads: int | None = None,
 ) -> PoolOutcome:
     """Run ``tasks`` on ``jobs`` processes; merge deterministically.
+
+    ``threads`` is the per-worker tile-thread budget
+    (:mod:`repro.parallel.tiles`); it is clamped so ``jobs x threads``
+    never oversubscribes the machine, and ``None`` leaves any engine
+    already installed by the caller untouched.
 
     ``jobs <= 1`` runs everything inline in this process (the serial
     reference path); larger values fan out over a
@@ -380,9 +393,14 @@ def run_experiments(
         w["busy_s"] += out["wall_s"]
         busy += out["wall_s"]
 
+    from . import tiles
+
+    worker_threads = (
+        None if threads is None else tiles.clamp_threads(threads, max(1, jobs))
+    )
     shared_bytes = 0
     if jobs <= 1:
-        _worker_init({})
+        _worker_init({}, worker_threads)
         for t in tasks:
             record(run_one(t))
     else:
@@ -407,7 +425,7 @@ def run_experiments(
             max_workers=jobs,
             mp_context=ctx,
             initializer=_worker_init,
-            initargs=(descriptors,),
+            initargs=(descriptors, worker_threads),
         )
         try:
             futures = [(executor.submit(run_one, tasks[i]), i) for i in order]
@@ -451,6 +469,11 @@ def run_experiments(
             pid: dict(stats) for pid, stats in sorted(workers.items())
         },
     }
+    if worker_threads is not None:
+        summary["threads"] = worker_threads
+    eng = tiles.current()
+    if jobs <= 1 and eng is not None:
+        summary["tiles"] = eng.snapshot()
     return PoolOutcome(results=results, summary=summary)
 
 
@@ -508,6 +531,18 @@ def format_pool_summary(summary: dict) -> str:
         f"  (speedup x{summary['busy_s'] / wall if wall > 0 else math.nan:.2f}"
         " vs serial busy time)"
     )
+    if summary.get("threads", 1) > 1 or summary.get("tiles"):
+        t = summary.get("tiles")
+        tile_part = (
+            f"  {t['tiled_kernels']} tiled kernel(s), {t['tiles_run']} tile(s)"
+            f" of {t['tile_entries']} entries"
+            if t
+            else ""
+        )
+        lines.append(
+            f"  threads {summary.get('threads', t['threads'] if t else 1)}"
+            f" per worker{tile_part}"
+        )
     recovery = [
         f"{label} {summary[key]}"
         for key, label in (

@@ -127,7 +127,7 @@ def segment_max_index(
     return out
 
 
-def stable_key_sort(key: np.ndarray, key_bound: int) -> tuple[np.ndarray, np.ndarray]:
+def stable_key_sort(key: np.ndarray, key_bound: int, eng=None) -> tuple[np.ndarray, np.ndarray]:
     """``(order, key[order])`` for a stable ascending sort of ``key``.
 
     ``order`` is identical to ``np.argsort(key, kind="stable")`` — and
@@ -137,6 +137,11 @@ def stable_key_sort(key: np.ndarray, key_bound: int) -> tuple[np.ndarray, np.nda
     scalar, which takes NumPy's radix path — several times faster than
     the comparison-based stable argsort the fallback uses — and the
     sorted keys fall out of the unpack without a gather.
+
+    ``eng`` (a :class:`repro.parallel.tiles.TileEngine`) sorts the
+    packed words with tiled runs + pairwise merges: the words are all
+    unique, so the merged array equals ``np.sort`` bitwise and the
+    unpacked order stays the stable argsort.
     """
     n = len(key)
     if n == 0:
@@ -145,7 +150,12 @@ def stable_key_sort(key: np.ndarray, key_bound: int) -> tuple[np.ndarray, np.nda
     key_bits = max(1, int(key_bound - 1).bit_length()) if key_bound > 1 else 1
     if idx_bits + key_bits <= 63:
         packed = (key << np.int64(idx_bits)) + np.arange(n, dtype=np.int64)
-        packed.sort()
+        if eng is not None:
+            from .tiles import parallel_sort
+
+            parallel_sort(packed, eng)
+        else:
+            packed.sort()
         return packed & np.int64((1 << idx_bits) - 1), packed >> np.int64(idx_bits)
     order = np.argsort(key, kind="stable")
     return order, key[order]

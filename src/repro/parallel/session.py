@@ -223,7 +223,8 @@ class SessionOutcome:
 # ------------------------------------------------------ supervised worker
 
 
-def _worker_main(conn, parent_conn, parent_pid, descriptors, task_fn) -> None:
+def _worker_main(conn, parent_conn, parent_pid, descriptors, task_fn,
+                 threads=None) -> None:
     """Worker process loop: serve ``(task, attempt)`` requests until None.
 
     A forked worker inherits duplicates of the parent-side pipe ends (its
@@ -238,7 +239,7 @@ def _worker_main(conn, parent_conn, parent_pid, descriptors, task_fn) -> None:
             parent_conn.close()
         except OSError:  # pragma: no cover
             pass
-    _worker_init(descriptors)
+    _worker_init(descriptors, threads)
     while True:
         try:
             if not conn.poll(1.0):
@@ -276,11 +277,11 @@ class _Worker:
     the property ``ProcessPoolExecutor`` cannot provide.
     """
 
-    def __init__(self, ctx, descriptors, task_fn):
+    def __init__(self, ctx, descriptors, task_fn, threads=None):
         self.conn, child = ctx.Pipe()
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child, self.conn, os.getpid(), descriptors, task_fn),
+            args=(child, self.conn, os.getpid(), descriptors, task_fn, threads),
             daemon=True,
         )
         self.proc.start()
@@ -428,13 +429,13 @@ def _serial_drain(state: _SessionState, pending: list, task_fn, deadline) -> Non
         state.success(idx, out)
 
 
-def _spawn_workers(state, ctx, descriptors, task_fn, jobs):
+def _spawn_workers(state, ctx, descriptors, task_fn, jobs, threads=None):
     """Create the supervised worker set; None on total spawn failure."""
     workers: list[_Worker] = []
     try:
         faultinject.fire("pool.create", jobs=jobs)
         for _ in range(jobs):
-            workers.append(_Worker(ctx, descriptors, task_fn))
+            workers.append(_Worker(ctx, descriptors, task_fn, threads))
     except OSError as e:
         for w in workers:
             w.kill()
@@ -444,7 +445,8 @@ def _spawn_workers(state, ctx, descriptors, task_fn, jobs):
 
 
 def _pool_drain(state: _SessionState, pending: list, *, jobs, descriptors,
-                task_fn, mp_context, task_timeout, deadline) -> list:
+                task_fn, mp_context, task_timeout, deadline,
+                threads=None) -> list:
     """Drain the pending queue over supervised workers.
 
     Returns a (possibly empty) list of still-pending entries — non-empty
@@ -454,13 +456,13 @@ def _pool_drain(state: _SessionState, pending: list, *, jobs, descriptors,
     ctx = mp_context or mp.get_context(
         "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     )
-    workers = _spawn_workers(state, ctx, descriptors, task_fn, jobs)
+    workers = _spawn_workers(state, ctx, descriptors, task_fn, jobs, threads)
     if workers is None:
         return pending
 
     def respawn(i: int) -> bool:
         try:
-            workers[i] = _Worker(ctx, descriptors, task_fn)
+            workers[i] = _Worker(ctx, descriptors, task_fn, threads)
             return True
         except OSError as e:
             state.degrade("pool.respawn", "serial-fallback", e)
@@ -630,6 +632,7 @@ def run_session(
     validate_corpus: bool = False,
     durable: bool = True,
     descriptors: dict | None = None,
+    threads: int | None = None,
 ) -> SessionOutcome:
     """Run ``tasks`` fault-tolerantly; merge deterministically.
 
@@ -646,7 +649,14 @@ def run_session(
     (the serving daemon's resident registry); the session then skips
     its own publish and does **not** release the segments on exit —
     their lifetime belongs to the caller.
+
+    ``threads`` is the intra-run tile-thread budget
+    (:mod:`repro.parallel.tiles`): the serial path installs the engine
+    in-process, the pool path installs a per-worker engine clamped so
+    ``jobs x threads <= cores``.  Results are bitwise identical at any
+    value; ``None`` leaves whatever engine is already installed.
     """
+    from . import tiles
     tasks = list(tasks)
     if task_fn is None:
         _check_unique(tasks)
@@ -721,6 +731,9 @@ def run_session(
     handles: list = []
     preshared = descriptors
     eff_jobs = max(1, jobs)
+    worker_threads = (
+        None if threads is None else tiles.clamp_threads(threads, eff_jobs)
+    )
     try:
         if remaining and eff_jobs > 1:
             descriptors = dict(preshared) if preshared else {}
@@ -753,11 +766,12 @@ def run_session(
                 state, pending, jobs=eff_jobs, descriptors=descriptors,
                 task_fn=task_fn, mp_context=mp_context,
                 task_timeout=task_timeout, deadline=deadline,
+                threads=worker_threads,
             )
             if leftover:
                 # degraded to serial: attach the published corpus (if
                 # any) in-process so the drain still maps zero-copy
-                _worker_init(descriptors)
+                _worker_init(descriptors, worker_threads)
                 try:
                     _serial_drain(state, leftover, task_fn, deadline)
                 finally:
@@ -766,7 +780,7 @@ def run_session(
                     # trips "cannot close exported pointers exist"
                     _worker_init({})
         elif remaining:
-            _worker_init({})
+            _worker_init({}, worker_threads)
             pending = [(0.0, pos, idx, 0) for pos, idx in enumerate(remaining)]
             heapq.heapify(pending)
             state._order = len(pending)
@@ -802,6 +816,11 @@ def run_session(
         "degradations": list(state.degradations),
         "failed": failed,
     }
+    if worker_threads is not None:
+        summary["threads"] = worker_threads
+    eng = tiles.current()
+    if eff_jobs == 1 and eng is not None:
+        summary["tiles"] = eng.snapshot()
     if journal is not None:
         journal.append(
             {"type": "end", "completed": len(results),

@@ -38,6 +38,16 @@ out-of-core operation
     full-length edge temporary.  The wave engine is oblivious to the
     feed's origin; budgeted and unbudgeted feeds are byte-identical.
 
+tile-parallel feeds
+    The same edge-volume feeds are the multicore surface: under an
+    installed :class:`repro.parallel.tiles.TileEngine` the heavy-
+    neighbour scans run tile-parallel on deterministic row-aligned
+    tiles (see :mod:`repro.parallel.tiles`).  The wave fixpoint itself
+    stays serial — lane-order CAS serialisation *is* the determinism
+    contract, so the claim/scatter resolution is the sequential spine
+    and the feeds are where the threads go.  Tiled feeds are
+    byte-identical to serial and budgeted ones.
+
 The engine state lives in :class:`ClaimState`; kernels drive it with
 :meth:`ClaimState.resolve_wave` (batched claim/create/inherit/release)
 plus the batched helpers (:meth:`ClaimState.assign_singletons`,

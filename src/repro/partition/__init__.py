@@ -5,7 +5,12 @@ from .fm import compute_gains, fm_refine, rebalance_exact
 from .ggg import greedy_graph_growing
 from .metrics import edge_cut, imbalance, partition_weights, validate_partition
 from .multilevel import PartitionResult, multilevel_bisect
-from .applications import conductance, spectral_coordinates, spectral_sweep_cut
+from .applications import (
+    conductance,
+    spectral_coordinates,
+    spectral_embedding,
+    spectral_sweep_cut,
+)
 from .recursive import recursive_bisection
 from .spectral import fiedler_dense, fiedler_power_iteration, median_split, spectral_bisect
 
@@ -27,6 +32,7 @@ __all__ = [
     "mtmetis_like",
     "recursive_bisection",
     "spectral_coordinates",
+    "spectral_embedding",
     "spectral_sweep_cut",
     "conductance",
     "fiedler_dense",

@@ -14,13 +14,18 @@ import numpy as np
 from ..csr.graph import CSRGraph
 from ..parallel.cost import KernelCost
 from ..parallel.execspace import ExecSpace
-from ..sparse.spmv import spmv
+from ..sparse.spmv import spmm, spmv
 from ..sparse.vector import deflate, deflate_constant
 from ..types import WT
 from .metrics import edge_cut
 from .spectral import fiedler_power_iteration
 
-__all__ = ["spectral_coordinates", "spectral_sweep_cut", "conductance"]
+__all__ = [
+    "spectral_coordinates",
+    "spectral_embedding",
+    "spectral_sweep_cut",
+    "conductance",
+]
 
 
 def spectral_coordinates(
@@ -59,6 +64,51 @@ def spectral_coordinates(
         if diff < tol:
             break
     return np.stack([x1, x2], axis=1)
+
+
+def spectral_embedding(
+    g: CSRGraph, space: ExecSpace, k: int = 2, *, max_iters: int = 500, tol: float = 1e-10
+) -> np.ndarray:
+    """k-dimensional spectral embedding by blocked orthogonal iteration.
+
+    The SpMM consumer of the spectral machinery: each iteration applies
+    the same shifted operator ``(sigma - deg) I + A`` that
+    :func:`~repro.partition.spectral.fiedler_power_iteration` powers
+    with, but to all ``k`` directions at once through
+    :func:`repro.sparse.spmm` — one pass over the adjacency instead of
+    ``k`` — then re-orthonormalises the block with a thin QR (sign-fixed
+    so the result is deterministic).  The constant Laplacian null space
+    is deflated every step; the returned ``(n, k)`` columns span the
+    dominant non-trivial invariant subspace, i.e. the smallest
+    non-trivial Laplacian eigendirections.
+    """
+    n = g.n
+    if n == 0 or k <= 0:
+        return np.zeros((n, max(k, 0)), dtype=WT)
+    k = min(k, max(1, n - 1))
+    deg = g.weighted_degrees()
+    sigma = 2.0 * float(deg.max(initial=0.0)) + 1.0
+    shift = (sigma - deg)[:, None]
+    X = space.rng.standard_normal((n, k))
+    X -= X.mean(axis=0, keepdims=True)
+    X, _ = np.linalg.qr(X)
+    for _ in range(max_iters):
+        Y = shift * X + spmm(g, X, space)
+        Y -= Y.mean(axis=0, keepdims=True)
+        Q, r = np.linalg.qr(Y)
+        # QR is unique only up to column signs; pin diag(R) >= 0
+        s = np.sign(np.diag(r))
+        s[s == 0] = 1.0
+        Q = Q * s
+        space.ledger.charge(
+            "refinement",
+            KernelCost(stream_bytes=(4.0 + 2.0 * k) * 8 * n, flops=2.0 * k * k * n),
+        )
+        diff = float(np.linalg.norm(Q - X))
+        X = Q
+        if diff < tol:
+            break
+    return np.ascontiguousarray(X, dtype=WT)
 
 
 def conductance(g: CSRGraph, mask: np.ndarray) -> float:

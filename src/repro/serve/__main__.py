@@ -31,6 +31,7 @@ def _cmd_serve(args) -> int:
         queue_max=args.queue_max,
         batch_max=args.batch_max,
         jobs=args.jobs,
+        threads=_resolve_threads(args),
         max_graphs=args.max_graphs,
         max_hierarchies=args.max_hierarchies,
         drain_timeout=args.drain_timeout,
@@ -39,8 +40,15 @@ def _cmd_serve(args) -> int:
     server = Server(config)
     print(f"serving on {config.socket_path} "
           f"(queue {config.queue_max}, batch {config.batch_max}, "
-          f"jobs {config.jobs}); SIGTERM drains and exits", flush=True)
+          f"jobs {config.jobs}, threads {config.threads}); "
+          "SIGTERM drains and exits", flush=True)
     return server.serve_forever()
+
+
+def _resolve_threads(args) -> int:
+    from ..parallel.tiles import resolve_threads
+
+    return resolve_threads(getattr(args, "threads", None))
 
 
 def _cmd_request(args) -> int:
@@ -122,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_s.add_argument("--jobs", type=int, default=1,
                      help="worker processes for batches of distinct cold "
                           "configs (default 1 = everything in-process)")
+    p_s.add_argument("--threads", type=int, default=None,
+                     help="tile-parallel threads inside each run (default: "
+                          "REPRO_THREADS or 1; 0 = every usable core); "
+                          "results are bitwise identical to serial")
     p_s.add_argument("--max-graphs", type=int, default=8,
                      help="resident graph tenants, LRU-evicted (default 8)")
     p_s.add_argument("--max-hierarchies", type=int, default=32,

@@ -76,12 +76,22 @@ class ServeExecutor:
         hierarchies: HierarchyCache | None = None,
         *,
         jobs: int = 1,
+        threads: int = 1,
     ):
         self.registry = registry if registry is not None else GraphRegistry()
         self.hierarchies = (
             hierarchies if hierarchies is not None else HierarchyCache()
         )
         self.jobs = max(1, jobs)
+        self.threads = max(1, threads)
+        if self.threads > 1:
+            # in-process requests run tile-parallel too; the process-
+            # global engine is visible from every dispatcher thread, and
+            # the budget is pre-clamped against the worker count so a
+            # pooled batch plus in-process work never oversubscribes
+            from ..parallel import tiles
+
+            tiles.configure(tiles.clamp_threads(self.threads, self.jobs))
         self.executed = 0
         self.errors = 0
 
@@ -292,6 +302,7 @@ class ServeExecutor:
             outcome = run_session(
                 tasks, self.jobs, retries=1,
                 descriptors=self.registry.descriptors(),
+                threads=self.threads if self.threads > 1 else None,
             )
             # results keep task order but skip quarantined entries
             failed_keys = {f["key"] for f in outcome.failed}

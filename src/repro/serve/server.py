@@ -60,6 +60,9 @@ class ServerConfig:
     batch_max: int = 8
     #: worker processes for poolable batches (1 = everything in-process)
     jobs: int = 1
+    #: tile-parallel threads inside each run (repro.parallel.tiles);
+    #: clamped with jobs so jobs x threads never oversubscribes
+    threads: int = 1
     #: resident graph tenants (hot tier LRU bound)
     max_graphs: int = 8
     #: resident hierarchies (LRU bound)
@@ -90,6 +93,7 @@ class Server:
         self.config = config or ServerConfig()
         self.executor = executor if executor is not None else ServeExecutor(
             jobs=self.config.jobs,
+            threads=self.config.threads,
         )
         self.executor.registry.max_graphs = self.config.max_graphs
         self.executor.hierarchies.max_entries = self.config.max_hierarchies
@@ -349,6 +353,7 @@ class Server:
             "queue_depth": self._queue.qsize(),
             "queue_max": self.config.queue_max,
             "jobs": self.config.jobs,
+            "threads": self.config.threads,
             "counters": dict(self.counters),
             "hierarchy": self.executor.hierarchies.stats(),
             "graphs": self.executor.registry.resident(),

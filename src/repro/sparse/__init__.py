@@ -1,6 +1,6 @@
 """Sparse/dense linear-algebra kernels (the Kokkos Kernels substitute)."""
 
-from .spmv import laplacian_spmv, spmv
+from .spmv import laplacian_spmv, spmm, spmv
 from .vector import deflate, deflate_constant, norm2, normalize
 
-__all__ = ["spmv", "laplacian_spmv", "norm2", "normalize", "deflate", "deflate_constant"]
+__all__ = ["spmv", "spmm", "laplacian_spmv", "norm2", "normalize", "deflate", "deflate_constant"]
