@@ -73,6 +73,9 @@ SITES = {
     "cache.store": "any process, before an artifact-cache entry is written (labels: key)",
     "journal.write": "parent, before one journal record is appended (labels: type, seq)",
     "serve.exec": "serving daemon, before one request executes (labels: op, graph)",
+    "serve.journal": "serving daemon, before one state-journal record is appended (labels: type, seq)",
+    "serve.recover": "serving daemon, before one journal record is replayed on --recover (labels: type, seq)",
+    "serve.deadline": "serving daemon, at a per-request deadline check (labels: op)",
 }
 
 #: exit status used by the ``crash`` kind (BSD EX_SOFTWARE)

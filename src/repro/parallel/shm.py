@@ -32,6 +32,7 @@ __all__ = [
     "pid_alive",
     "register",
     "unregister",
+    "destroy",
     "release_all",
     "install_signal_cleanup",
     "sweep_stale",
@@ -87,16 +88,67 @@ def pid_alive(pid: int) -> bool:
     return True
 
 
+def _untrack(shm) -> None:
+    """Exempt an owned segment from the stdlib resource tracker.
+
+    This module owns the whole lifecycle of ``repro-*`` segments: clean
+    exits unlink via :func:`release_all` / the registry's shutdown
+    ladder, and crashed owners are reclaimed by :func:`sweep_stale`
+    (``repro.bench gc-shm``, daemon ``--recover``).  Left registered,
+    the tracker process — which survives a SIGKILL of its parent —
+    unlinks the segments on its own schedule, racing the recovery sweep
+    and making post-crash state nondeterministic.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:  # pragma: no cover - tracker absent or never spawned
+        pass
+
+
+def _retrack(shm) -> None:
+    """Re-register with the stdlib tracker right before an owned unlink.
+
+    ``SharedMemory.unlink`` unconditionally unregisters from the
+    tracker; since :func:`register` untracked the segment, the books
+    must be balanced first or the tracker process logs a spurious
+    ``KeyError`` on every clean shutdown.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:  # pragma: no cover - tracker absent
+        pass
+
+
 def register(shm) -> None:
     """Track a live segment for cleanup on parent exit."""
     global _ATEXIT_INSTALLED
     _LIVE[shm.name] = shm
+    _untrack(shm)
     if not _ATEXIT_INSTALLED:
         atexit.register(release_all)
         _ATEXIT_INSTALLED = True
 
 
 def unregister(shm) -> None:
+    _LIVE.pop(shm.name, None)
+
+
+def destroy(shm) -> None:
+    """Close + unlink an owned segment and drop it from the live table.
+
+    Idempotent and exception-safe — the one sanctioned way to dispose of
+    a segment that went through :func:`register`.
+    """
+    _retrack(shm)
+    for op in (shm.close, shm.unlink):
+        try:
+            op()
+        except (OSError, ValueError):  # already gone / already closed
+            pass
     _LIVE.pop(shm.name, None)
 
 
@@ -108,12 +160,7 @@ def release_all() -> int:
     """
     released = 0
     for name in list(_LIVE):
-        shm = _LIVE.pop(name)
-        for op in (shm.close, shm.unlink):
-            try:
-                op()
-            except (OSError, ValueError):  # already gone / already closed
-                pass
+        destroy(_LIVE[name])
         released += 1
     return released
 

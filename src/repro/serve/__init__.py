@@ -14,26 +14,36 @@ alive between analyses.  This package is that something:
 * :mod:`repro.serve.server` — the daemon: accept loop, bounded
   admission queue, dispatcher batching, graceful SIGTERM drain and the
   full shm/journal cleanup ladder;
-* :mod:`repro.serve.client` — a tiny blocking client;
+* :mod:`repro.serve.client` — a blocking client with optional retries
+  (deterministic backoff, reconnect-on-EOF, deadline propagation);
+* :mod:`repro.serve.journal` — the durable state journal + warm-restart
+  recovery behind ``serve --recover DIR``;
 * :mod:`repro.serve.loadtest` — the p50/p99 + hit-rate harness behind
   ``BENCH_serving.json``.
 
-Entry point: ``python -m repro.serve --socket /tmp/repro.sock``.
+Entry points: ``python -m repro.serve --socket /tmp/repro.sock`` (the
+daemon) and ``python -m repro.serve supervise`` (crash-respawning
+supervisor).
 """
 
 from .client import ServeClient, wait_for_server
-from .protocol import ProtocolError, recv_msg, send_msg
+from .journal import PoisonTracker, ServeJournal, recover_executor
+from .protocol import FrameTimeout, ProtocolError, recv_msg, send_msg
 from .registry import GraphRegistry, HierarchyCache
 from .server import ServerConfig, Server
 
 __all__ = [
+    "FrameTimeout",
     "GraphRegistry",
     "HierarchyCache",
+    "PoisonTracker",
     "ProtocolError",
+    "recover_executor",
     "recv_msg",
     "send_msg",
     "Server",
     "ServerConfig",
     "ServeClient",
+    "ServeJournal",
     "wait_for_server",
 ]

@@ -20,6 +20,10 @@ requests always run in-process — which is also the default
 
 from __future__ import annotations
 
+import threading
+import time
+from collections import OrderedDict
+
 from .. import faultinject
 from ..bench.harness import (
     run_cluster,
@@ -29,10 +33,15 @@ from ..bench.harness import (
 )
 from ..parallel.memory import SimulatedOOM
 from ..parallel.pool import ExperimentTask, _scalar_row
+from .journal import PoisonTracker, request_digest, tape_digest
 from .protocol import error_response, ok_response
 from .registry import GraphRegistry, HierarchyCache, hierarchy_key
 
 __all__ = ["ServeExecutor"]
+
+#: bound on the in-memory idempotency table (journal-backed entries are
+#: reloaded on recovery, so the bound only limits live-process dedup)
+MAX_IDEM_ENTRIES = 1024
 
 
 def _row_from_result(result: dict) -> dict:
@@ -94,22 +103,112 @@ class ServeExecutor:
             tiles.configure(tiles.clamp_threads(self.threads, self.jobs))
         self.executed = 0
         self.errors = 0
+        #: crash-safety state (wired by the server when a log dir is set)
+        self.state_journal = None
+        self.poison = PoisonTracker()
+        self.recovering = False
+        self._idem: OrderedDict[str, dict] = OrderedDict()
+        self._idem_lock = threading.Lock()
+
+    # ------------------------------------------------------- crash safety
+
+    def attach_state_journal(self, journal) -> None:
+        """Arm durable state journaling: registry and hierarchy-cache
+        transitions flow into ``journal`` from here on.  Called after
+        recovery replay, so recovered state is never re-journaled."""
+        self.state_journal = journal
+        self.registry.on_load = lambda name, seed: self._journal_state(
+            {"type": "tenant", "graph": name, "seed": seed}
+        )
+        self.registry.on_drop = lambda name, seed: self._journal_state(
+            {"type": "tenant-drop", "graph": name, "seed": seed}
+        )
+        self.hierarchies.on_put = self._journal_hierarchy
+        self.hierarchies.on_evict = lambda key: self._journal_state(
+            {"type": "hierarchy-drop", "key": list(key)}
+        )
+
+    def _journal_state(self, record: dict) -> None:
+        if self.state_journal is None or self.recovering:
+            return
+        self.state_journal.append(record)
+
+    def _journal_hierarchy(self, key: tuple, hierarchy, tape) -> None:
+        # an incomplete tape (simulated OOM mid-build) can never replay,
+        # so it is not recoverable state either
+        if tape is None or not getattr(tape, "complete", False):
+            return
+        self._journal_state(
+            {"type": "hierarchy", "key": list(key), "tape_sha": tape_digest(tape)}
+        )
+
+    def remember_idempotent(self, idem: str, response: dict) -> None:
+        with self._idem_lock:
+            self._idem[idem] = response
+            self._idem.move_to_end(idem)
+            while len(self._idem) > MAX_IDEM_ENTRIES:
+                self._idem.popitem(last=False)
+
+    def _idem_lookup(self, idem: str | None) -> dict | None:
+        if idem is None:
+            return None
+        with self._idem_lock:
+            return self._idem.get(idem)
 
     # ------------------------------------------------------------ single
 
-    def execute(self, req: dict) -> dict:
-        """Run one request in-process; always returns a response dict."""
+    def execute(self, req: dict, *, deadline: float | None = None) -> dict:
+        """Run one request in-process; always returns a response dict.
+
+        ``deadline`` is a ``time.monotonic()`` instant set at admission
+        from the request's ``deadline_ms``; a request that expired while
+        queued gets the typed ``DeadlineExceeded`` answer instead of
+        burning executor time on a response nobody is waiting for.
+        """
+        op = req.get("op", "")
+        if deadline is not None:
+            faultinject.fire("serve.deadline", op=op)
+            if time.monotonic() > deadline:
+                self.errors += 1
+                return error_response(
+                    f"deadline exceeded before {op} executed",
+                    kind="DeadlineExceeded",
+                )
+        digest = request_digest(req)
+        if self.poison.quarantined(digest) and not self.recovering:
+            self.errors += 1
+            return error_response(
+                f"request {digest} is quarantined after "
+                f"{self.poison.strikes.get(digest, 0)} executor crash(es)",
+                kind="PoisonQuarantined",
+            )
+        # the poison bracket: a dangling exec-begin in the state journal
+        # attributes a daemon death to exactly this request on recovery
+        bracket = self.state_journal is not None and not self.recovering
+        if bracket:
+            self.state_journal.append(
+                {"type": "exec-begin", "digest": digest, "op": op}
+            )
         try:
-            faultinject.fire("serve.exec", op=req["op"], graph=req.get("graph", ""))
-            return self._dispatch(req)
-        except SimulatedOOM as e:
-            # harness runners convert OOM to a row themselves; reaching
-            # here means a non-row path (e.g. cluster projection) blew up
-            self.errors += 1
-            return error_response(str(e), kind="SimulatedOOM")
-        except Exception as e:  # noqa: BLE001 - marshalled to the client
-            self.errors += 1
-            return error_response(str(e) or type(e).__name__, kind=type(e).__name__)
+            try:
+                if not self.recovering:
+                    faultinject.fire("serve.exec", op=op, graph=req.get("graph", ""))
+                return self._dispatch(req)
+            except SimulatedOOM as e:
+                # harness runners convert OOM to a row themselves;
+                # reaching here means a non-row path blew up
+                self.errors += 1
+                return error_response(str(e), kind="SimulatedOOM")
+            except Exception as e:  # noqa: BLE001 - marshalled to the client
+                self.errors += 1
+                return error_response(
+                    str(e) or type(e).__name__, kind=type(e).__name__
+                )
+        finally:
+            # reached on success and on *handled* failure — a crash or
+            # kill never gets here, which is exactly the point
+            if bracket:
+                self.state_journal.append({"type": "exec-end", "digest": digest})
 
     def _dispatch(self, req: dict) -> dict:
         if req["op"] == "update_graph":
@@ -164,6 +263,13 @@ class ServeExecutor:
         """
         from ..csr.update import apply_edges
 
+        idem = req.get("idem")
+        replayed = self._idem_lookup(idem)
+        if replayed is not None:
+            # a client retry of an already-applied batch: answer with the
+            # stored response, byte-identical to the first one — the
+            # exactly-once half of the idempotency contract
+            return replayed
         name, seed = req["graph"], req["seed"]
         g, _spec = self.registry.graph(name, seed)
         add = remove = None
@@ -184,7 +290,19 @@ class ServeExecutor:
             "hierarchies_patched": patched, "hierarchies_evicted": evicted,
         }
         self.executed += 1
-        return ok_response(row, key=request_key(req))
+        response = ok_response(row, key=request_key(req))
+        # write-behind: the applied delta is durable *before* the client
+        # sees an ack, so a crash either loses an unacked update (the
+        # retry re-applies it) or recovers an acked one (the retry is
+        # answered from the idempotency table) — never both, never neither
+        self._journal_state(
+            {"type": "update", "graph": name, "seed": seed,
+             "add": req["add"], "remove": req["remove"],
+             "idem": idem, "row": row}
+        )
+        if idem is not None:
+            self.remember_idempotent(idem, response)
+        return response
 
     def _patch_hierarchies(self, name, seed, g_new, delta) -> tuple[int, int]:
         """Patch (or evict) every cached hierarchy of one tenant.
@@ -251,17 +369,24 @@ class ServeExecutor:
             return not self.hierarchies.peek(hierarchy_key(req))
         return False
 
-    def execute_batch(self, requests: list[dict]) -> list[dict]:
+    def execute_batch(
+        self, requests: list[dict], deadlines: list[float | None] | None = None
+    ) -> list[dict]:
         """Execute a dispatcher batch; responses in request order.
 
         With ``jobs > 1``, the poolable subset (distinct configs only —
         duplicates would trip the deterministic-merge key check, and
         running them twice is the waste this daemon exists to avoid)
         fans out over ``run_session`` with the registry's published
-        descriptors; everything else, and any pooled task that failed,
-        runs in-process.
+        descriptors; everything else runs in-process.  A pooled task
+        that *failed* (worker crash, hang, exhausted retries) gets the
+        typed ``ExecutorCrash`` answer and a poison strike — it is never
+        re-run in-process, where a second crash would take the daemon
+        (and every tenant) down with it.
         """
         responses: list[dict | None] = [None] * len(requests)
+        if deadlines is None:
+            deadlines = [None] * len(requests)
         pooled: dict[tuple, list[int]] = {}
         # tenants an update in this very batch will mutate: keep their
         # requests in-process so the in-order execution below preserves
@@ -273,6 +398,12 @@ class ServeExecutor:
             for i, req in enumerate(requests):
                 if (req.get("graph"), req.get("seed")) in mutating:
                     continue
+                if deadlines[i] is not None:
+                    # deadline'd requests stay in-process where expiry is
+                    # checked right before execution
+                    continue
+                if self.poison.quarantined(request_digest(req)):
+                    continue  # execute() answers with the typed error
                 if self.poolable(req):
                     # the grouping key carries ``oom`` even though the
                     # batch key does not: two requests differing only in
@@ -305,15 +436,29 @@ class ServeExecutor:
                 threads=self.threads if self.threads > 1 else None,
             )
             # results keep task order but skip quarantined entries
-            failed_keys = {f["key"] for f in outcome.failed}
+            failures = {f["key"]: f for f in outcome.failed}
             rows = iter(outcome.results)
             by_key = {
-                t.key(): next(rows) for t in tasks if t.key() not in failed_keys
+                t.key(): next(rows) for t in tasks if t.key() not in failures
             }
             for key, idxs in pooled.items():
                 row = by_key.get(key[0])
                 if row is None:
-                    continue  # quarantined: fall through to in-process
+                    failure = failures.get(key[0], {})
+                    digest = request_digest(requests[idxs[0]])
+                    strikes = self.poison.strike(digest)
+                    self._journal_state({"type": "poison", "digest": digest})
+                    for i in idxs:
+                        self.errors += 1
+                        responses[i] = error_response(
+                            f"pooled execution failed after "
+                            f"{failure.get('attempts', '?')} attempt(s): "
+                            f"{failure.get('kind', 'unknown')}: "
+                            f"{failure.get('error', '')} "
+                            f"(strike {strikes}/{self.poison.threshold})",
+                            kind="ExecutorCrash",
+                        )
+                    continue
                 for i in idxs:
                     self.executed += 1
                     responses[i] = ok_response(
@@ -321,5 +466,5 @@ class ServeExecutor:
                     )
         for i, req in enumerate(requests):
             if responses[i] is None:
-                responses[i] = self.execute(req)
+                responses[i] = self.execute(req, deadline=deadlines[i])
         return responses

@@ -16,6 +16,7 @@ tests, not this harness, pin response content.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from pathlib import Path
@@ -52,12 +53,20 @@ def build_mix(n: int, graphs: list[str], *, seed: int = 0) -> list[dict]:
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of a non-empty list."""
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty list.
+
+    ``rank = ceil(q/100 * n)`` clamped into ``[1, n]`` — well-defined
+    for any sample count, including the tiny ones (n < 100) where the
+    old round-based rank could drift past either end.  For n < 100/(100-q)
+    the answer is simply the max; callers see ``n`` reported beside the
+    percentiles so they can judge how much that means.
+    """
     if not values:
         return float("nan")
     ordered = sorted(values)
-    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
-    return ordered[min(rank, len(ordered)) - 1]
+    n = len(ordered)
+    rank = min(n, max(1, math.ceil(q / 100.0 * n)))
+    return ordered[rank - 1]
 
 
 def _op_label(req: dict) -> str:
@@ -67,16 +76,23 @@ def _op_label(req: dict) -> str:
 
 
 def run_loadtest(
-    socket_path: str, requests: list[dict], *, clients: int = 4
+    socket_path: str, requests: list[dict], *, clients: int = 4,
+    retries: int = 0,
 ) -> dict:
-    """Replay ``requests`` from ``clients`` threads; return the report."""
+    """Replay ``requests`` from ``clients`` threads; return the report.
+
+    ``retries`` arms the retrying client: each worker rides transport
+    failures and typed rejections with deterministic backoff, which is
+    what lets a loadtest span a daemon crash + supervisor respawn.
+    """
     latencies: dict[str, list[float]] = {}
     outcomes = {"ok": 0, "rejected": 0, "error": 0}
+    error_kinds: dict[str, int] = {}
     lock = threading.Lock()
     next_index = [0]
 
     def worker() -> None:
-        with ServeClient(socket_path, timeout=600.0) as client:
+        with ServeClient(socket_path, timeout=600.0, retries=retries) as client:
             while True:
                 with lock:
                     i = next_index[0]
@@ -92,6 +108,9 @@ def run_loadtest(
                     outcomes[status] = outcomes.get(status, 0) + 1
                     if status == "ok":
                         latencies.setdefault(_op_label(req), []).append(dt)
+                    elif status == "error":
+                        kind = resp.get("kind", "error")
+                        error_kinds[kind] = error_kinds.get(kind, 0) + 1
 
     with ServeClient(socket_path) as probe:
         before = probe.request({"op": "status"})
@@ -109,8 +128,11 @@ def run_loadtest(
         after = probe.request({"op": "status"})
 
     def stats(vals: list[float]) -> dict:
+        # "n" rides beside every percentile: a p99 over 7 samples is the
+        # max, and the reader deserves to know that at a glance
         return {
             "count": len(vals),
+            "n": len(vals),
             "p50_ms": round(percentile(vals, 50) * 1e3, 3),
             "p90_ms": round(percentile(vals, 90) * 1e3, 3),
             "p99_ms": round(percentile(vals, 99) * 1e3, 3),
@@ -127,6 +149,7 @@ def run_loadtest(
         "wall_s": round(wall, 3),
         "throughput_rps": round(len(requests) / wall, 2) if wall > 0 else None,
         "outcomes": outcomes,
+        "error_kinds": error_kinds,
         "overall": stats(all_lat),
         "ops": {op: stats(vals) for op, vals in sorted(latencies.items())},
         "hierarchy": {
@@ -201,7 +224,10 @@ def main(args) -> int:
         server.start()
     try:
         wait_for_server(socket_path, timeout=60.0)
-        entry = run_loadtest(socket_path, requests, clients=args.clients)
+        entry = run_loadtest(
+            socket_path, requests, clients=args.clients,
+            retries=getattr(args, "client_retries", 0),
+        )
     finally:
         if server is not None:
             server.stop()
@@ -222,7 +248,11 @@ def main(args) -> int:
     if entry["outcomes"].get("rejected"):
         print(f"  rejected: {entry['outcomes']['rejected']}")
     if entry["outcomes"].get("error"):
-        print(f"ERROR: {entry['outcomes']['error']} request(s) failed")
+        kinds = ", ".join(
+            f"{k}={v}" for k, v in sorted(entry["error_kinds"].items())
+        )
+        print(f"ERROR: {entry['outcomes']['error']} request(s) failed "
+              f"({kinds or 'unknown kinds'})")
         return 1
 
     if args.out is not None:

@@ -23,11 +23,14 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 
 __all__ = [
     "MAX_FRAME",
+    "MAX_IDEM_LEN",
     "MAX_UPDATE_EDGES",
     "OPS",
+    "FrameTimeout",
     "ProtocolError",
     "send_msg",
     "recv_msg",
@@ -50,6 +53,9 @@ OPS = ("coarsen", "partition", "cluster", "update_graph", "status", "ping")
 #: client should split larger updates into multiple batches anyway
 MAX_UPDATE_EDGES = 1_000_000
 
+#: idempotency keys are opaque client tokens, not payloads
+MAX_IDEM_LEN = 200
+
 #: request fields with their defaults (``None`` = required)
 _FIELDS = {
     "machine": "gpu",
@@ -65,6 +71,15 @@ _FIELDS = {
 
 class ProtocolError(ValueError):
     """Malformed frame or invalid request object."""
+
+
+class FrameTimeout(ProtocolError):
+    """A frame started arriving but did not finish within the timeout.
+
+    Distinct from :class:`ProtocolError` so the daemon can answer with a
+    typed ``FrameTimeout`` error and count it separately: a stalled
+    client is backpressure/network trouble, not a protocol violation.
+    """
 
 
 def _validate_edge_list(name: str, value, *, weighted: bool) -> list:
@@ -110,12 +125,31 @@ def send_msg(sock: socket.socket, obj: dict) -> None:
     sock.sendall(_LEN.pack(len(body)) + body)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
-    """Read exactly ``n`` bytes; None on a clean EOF at a frame boundary."""
+def _recv_exact(
+    sock: socket.socket, n: int, *, deadline: float | None = None
+) -> bytes | None:
+    """Read exactly ``n`` bytes; None on a clean EOF at a frame boundary.
+
+    With a ``deadline`` (a ``time.monotonic()`` instant) the remaining
+    bytes must arrive before it: a stalled peer raises
+    :class:`FrameTimeout` instead of wedging the reader thread forever.
+    """
     chunks = []
     got = 0
     while got < n:
-        chunk = sock.recv(min(n - got, 1 << 20))
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FrameTimeout(
+                    f"timed out mid-frame ({got}/{n} bytes arrived)"
+                )
+            sock.settimeout(remaining)
+        try:
+            chunk = sock.recv(min(n - got, 1 << 20))
+        except socket.timeout:
+            raise FrameTimeout(
+                f"timed out mid-frame ({got}/{n} bytes arrived)"
+            ) from None
         if not chunk:
             if got == 0:
                 return None
@@ -125,15 +159,63 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_msg(sock: socket.socket) -> dict | None:
-    """Read one frame; None when the peer closed between frames."""
-    header = _recv_exact(sock, _LEN.size)
-    if header is None:
-        return None
+def _restore_timeout(sock: socket.socket, prev: float | None) -> None:
+    """Restore a saved socket timeout, tolerating a concurrently closed
+    socket — shutdown closes connections under their blocked readers, and
+    the resulting EBADF must surface from ``recv``, not from cleanup."""
+    try:
+        sock.settimeout(prev)
+    except OSError:
+        pass
+
+
+def recv_msg(
+    sock: socket.socket, *, frame_timeout: float | None = None
+) -> dict | None:
+    """Read one frame; None when the peer closed between frames.
+
+    ``frame_timeout`` arms the partial-frame guard the daemon's per-
+    connection readers rely on: waiting *between* frames blocks forever
+    (an idle keep-alive connection is fine), but once the first byte of
+    a length prefix arrives the whole frame must complete within
+    ``frame_timeout`` seconds or :class:`FrameTimeout` is raised — so a
+    client that stalls mid-frame fails its own connection with a typed
+    error instead of pinning a reader thread.
+    """
+    if frame_timeout is None:
+        header = _recv_exact(sock, _LEN.size)
+        if header is None:
+            return None
+        deadline = None
+    else:
+        prev = sock.gettimeout()
+        try:
+            sock.settimeout(None)
+            first = _recv_exact(sock, 1)
+        finally:
+            _restore_timeout(sock, prev)
+        if first is None:
+            return None
+        deadline = time.monotonic() + frame_timeout
+        prev = sock.gettimeout()
+        try:
+            rest = _recv_exact(sock, _LEN.size - 1, deadline=deadline)
+        finally:
+            _restore_timeout(sock, prev)
+        if rest is None:
+            raise ProtocolError("connection closed mid-frame (1/4 bytes)")
+        header = first + rest
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
         raise ProtocolError(f"declared frame of {length} bytes exceeds MAX_FRAME")
-    body = _recv_exact(sock, length)
+    if deadline is None:
+        body = _recv_exact(sock, length)
+    else:
+        prev = sock.gettimeout()
+        try:
+            body = _recv_exact(sock, length, deadline=deadline)
+        finally:
+            _restore_timeout(sock, prev)
     if body is None:
         raise ProtocolError("connection closed before the frame body")
     try:
@@ -162,6 +244,20 @@ def validate_request(req: dict) -> dict:
     if not isinstance(graph, str) or not graph:
         raise ProtocolError(f"op {op!r} requires a graph name")
     out["graph"] = graph
+    idem = req.get("idem")
+    if idem is not None:
+        if not isinstance(idem, str) or not idem or len(idem) > MAX_IDEM_LEN:
+            raise ProtocolError(
+                f"field 'idem' must be a non-empty string of at most "
+                f"{MAX_IDEM_LEN} chars"
+            )
+        out["idem"] = idem
+    deadline_ms = req.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, int) \
+                or deadline_ms <= 0:
+            raise ProtocolError("field 'deadline_ms' must be a positive int")
+        out["deadline_ms"] = deadline_ms
     if op == "update_graph":
         seed = req.get("seed", 0)
         if isinstance(seed, bool) or not isinstance(seed, int):

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from .. import faultinject
 from ..generators import corpus
 from ..parallel import shm as shm_lifecycle
 from ..storage import mapped as mapped_storage
@@ -70,6 +71,13 @@ class GraphRegistry:
         self.evictions = 0
         self.mutations = 0
         self.degradations: list[dict] = []
+        #: (site, graph) pairs already degraded — a flaky /dev/shm must
+        #: not grow the degradation list by one entry per request
+        self._degraded: set[tuple] = set()
+        #: observers for the serve state journal: called with
+        #: ``(name, seed)`` after a tenant becomes resident / is dropped
+        self.on_load = None
+        self.on_drop = None
 
     def graph(self, name: str, seed: int):
         """Resolve a tenant's graph, loading + publishing on first touch."""
@@ -96,17 +104,16 @@ class GraphRegistry:
                     "graph": g, "spec": spec, "descriptor": None, "shm": None,
                 }
                 self.loads += 1
-                self._evict_over_bound()
+                victims = self._evict_over_bound()
+            self._notify_load(key, victims)
             return g, spec
         try:
+            faultinject.fire("shm.publish", graph=name)
             names = shm_lifecycle.segment_names()
             descriptor, shm = g.to_shared(name=next(names))
             shm_lifecycle.register(shm)
         except OSError as e:
-            self.degradations.append(
-                {"site": "serve.publish", "action": "in-process-only",
-                 "graph": name, "error": str(e)}
-            )
+            self._degrade("serve.publish", name, e)
             descriptor = shm = None
         with self._lock:
             raced = self._entries.get(key)
@@ -118,24 +125,62 @@ class GraphRegistry:
                 "graph": g, "spec": spec, "descriptor": descriptor, "shm": shm,
             }
             self.loads += 1
-            self._evict_over_bound()
+            victims = self._evict_over_bound()
+        self._notify_load(key, victims)
         return g, spec
 
-    def _evict_over_bound(self) -> None:
+    def _degrade(self, site: str, name: str, error: Exception) -> None:
+        """Record a publish degradation **once** per (site, graph)."""
+        if (site, name) in self._degraded:
+            return
+        self._degraded.add((site, name))
+        self.degradations.append(
+            {"site": site, "action": "in-process-only",
+             "graph": name, "error": str(error)}
+        )
+
+    def _notify_load(self, key: tuple, victims: list[tuple]) -> None:
+        """Fire the journal observers outside the registry lock."""
+        if self.on_load is not None:
+            self.on_load(*key)
+        if self.on_drop is not None:
+            for victim in victims:
+                self.on_drop(*victim)
+
+    def _evict_over_bound(self) -> list[tuple]:
         """LRU-evict past ``max_graphs``, skipping mutated (pinned)
         tenants — they exist only in this process.  Caller holds the
-        lock.  When every resident tenant is mutated the bound is
-        exceeded rather than losing an update."""
+        lock; the evicted keys are returned so observers run unlocked.
+        When every resident tenant is mutated the bound is exceeded
+        rather than losing an update."""
+        victims: list[tuple] = []
         while len(self._entries) > self.max_graphs:
             victim = next(
                 (k for k in self._entries if k not in self._mutated), None
             )
             if victim is None:
-                return
+                break
             old = self._entries.pop(victim)
+            self.evictions += 1
+            victims.append(victim)
+            if old["shm"] is not None:
+                self._unpublish(old["shm"])
+        return victims
+
+    def drop(self, name: str, seed: int) -> bool:
+        """Explicitly evict one tenant (recovery replay of a drop record)."""
+        key = (name, seed)
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is None:
+                return False
+            self._mutated.discard(key)
             self.evictions += 1
             if old["shm"] is not None:
                 self._unpublish(old["shm"])
+        if self.on_drop is not None:
+            self.on_drop(name, seed)
+        return True
 
     def replace_graph(self, name: str, seed: int, g) -> None:
         """Swap a resident tenant's graph for its post-update CSR.
@@ -151,14 +196,12 @@ class GraphRegistry:
         descriptor = shm = None
         if not mapped_storage.is_mapped(g):
             try:
+                faultinject.fire("shm.publish", graph=name)
                 names = shm_lifecycle.segment_names()
                 descriptor, shm = g.to_shared(name=next(names))
                 shm_lifecycle.register(shm)
             except OSError as e:
-                self.degradations.append(
-                    {"site": "serve.republish", "action": "in-process-only",
-                     "graph": name, "error": str(e)}
-                )
+                self._degrade("serve.republish", name, e)
                 descriptor = shm = None
         with self._lock:
             entry = self._entries.get(key)
@@ -180,13 +223,7 @@ class GraphRegistry:
 
     @staticmethod
     def _unpublish(shm) -> None:
-        try:
-            shm.close()
-            shm.unlink()
-        except OSError:  # pragma: no cover - already gone
-            pass
-        finally:
-            shm_lifecycle.unregister(shm)
+        shm_lifecycle.destroy(shm)
 
     def descriptors(self) -> dict:
         """(name, seed) → shm descriptor for every published tenant.
@@ -249,6 +286,11 @@ class HierarchyCache:
         self.misses = 0
         self.evictions = 0
         self.patches = 0
+        #: observers for the serve state journal: ``on_put(key,
+        #: hierarchy, tape)`` after a fresh build is cached,
+        #: ``on_evict(key)`` after an entry is dropped (LRU or explicit)
+        self.on_put = None
+        self.on_evict = None
 
     def handle(self, req: dict) -> ReuseHandle:
         return ReuseHandle(self, hierarchy_key(req))
@@ -269,12 +311,19 @@ class HierarchyCache:
             return cached
 
     def put(self, key: tuple, hierarchy, tape) -> None:
+        victims = []
         with self._lock:
             self._entries[key] = (hierarchy, tape)
             self.builds += 1
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                victim, _ = self._entries.popitem(last=False)
+                victims.append(victim)
                 self.evictions += 1
+        if self.on_put is not None:
+            self.on_put(key, hierarchy, tape)
+        if self.on_evict is not None:
+            for victim in victims:
+                self.on_evict(victim)
 
     def keys_for(self, graph: str, seed: int) -> list[tuple]:
         """Every cached config built on this (graph, seed) tenant."""
@@ -298,8 +347,11 @@ class HierarchyCache:
     def evict(self, key: tuple) -> None:
         """Drop one entry (an update made it stale and unpatchable)."""
         with self._lock:
-            if self._entries.pop(key, None) is not None:
+            dropped = self._entries.pop(key, None) is not None
+            if dropped:
                 self.evictions += 1
+        if dropped and self.on_evict is not None:
+            self.on_evict(key)
 
     def stats(self) -> dict:
         with self._lock:

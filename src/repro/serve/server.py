@@ -39,7 +39,9 @@ from pathlib import Path
 from ..parallel import shm as shm_lifecycle
 from ..parallel.session import SessionJournal
 from .executor import ServeExecutor, request_key
+from .journal import ServeJournal, recover_executor
 from .protocol import (
+    FrameTimeout,
     ProtocolError,
     error_response,
     recv_msg,
@@ -71,17 +73,29 @@ class ServerConfig:
     drain_timeout: float = 10.0
     #: directory for the append-only request journal (None = no journal)
     log_dir: str | None = None
+    #: once a frame starts arriving it must complete within this many
+    #: seconds or the connection fails with a typed FrameTimeout error
+    #: (None = wait forever, the pre-hardening behaviour)
+    frame_timeout: float | None = 30.0
+    #: warm-restart from the state journal in ``log_dir`` before binding
+    recover: bool = False
+    #: executor crashes attributable to one request digest before it is
+    #: quarantined with a typed PoisonQuarantined error
+    poison_threshold: int = 2
 
 
 class _Pending:
     """One admitted request awaiting its response."""
 
-    __slots__ = ("request", "response", "event")
+    __slots__ = ("request", "response", "event", "deadline")
 
-    def __init__(self, request: dict):
+    def __init__(self, request: dict, deadline: float | None = None):
         self.request = request
         self.response: dict | None = None
         self.event = threading.Event()
+        #: monotonic instant from the request's ``deadline_ms``, stamped
+        #: at admission — queue time counts against the budget
+        self.deadline = deadline
 
     def resolve(self, response: dict) -> None:
         self.response = response
@@ -99,6 +113,7 @@ class Server:
         self.executor.hierarchies.max_entries = self.config.max_hierarchies
         self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_max)
         self._stopping = threading.Event()
+        self._closing = threading.Event()
         self._drained = threading.Event()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
@@ -108,9 +123,13 @@ class Server:
         self._conns_lock = threading.Lock()
         self._journal: SessionJournal | None = None
         self._journal_lock = threading.Lock()
+        self._state_journal: ServeJournal | None = None
+        self.recovery: dict | None = None
+        self.executor.poison.threshold = max(1, self.config.poison_threshold)
         self.counters = {
             "received": 0, "completed": 0, "rejected_full": 0,
             "rejected_shutdown": 0, "protocol_errors": 0, "connections": 0,
+            "frame_timeouts": 0, "deadline_exceeded": 0,
         }
         self.started_at = time.monotonic()
 
@@ -118,6 +137,36 @@ class Server:
 
     def _bind(self) -> None:
         path = Path(self.config.socket_path)
+        # recovery runs BEFORE the socket exists: a client that can
+        # connect must see fully recovered state, never a half-replay
+        if self.config.log_dir is not None:
+            state = ServeJournal(self.config.log_dir)
+            if self.config.recover:
+                # a SIGKILL'd daemon leaked its shm segments; their owner
+                # is dead, so the sweep reclaims them before we republish
+                shm_lifecycle.sweep_stale()
+                self.recovery = recover_executor(
+                    self.executor, self.config.log_dir
+                )
+                state.open(
+                    truncate_to=self.recovery["valid_bytes"],
+                    seq=self.recovery["next_seq"],
+                )
+            else:
+                # no --recover: a fresh daemon means fresh state; stale
+                # records must not resurrect on the *next* recovery
+                state.open(truncate_to=0)
+            self._state_journal = state
+            self.executor.attach_state_journal(state)
+            if self.config.recover:
+                state.append({
+                    "type": "recovered", "pid": os.getpid(),
+                    "tenants": self.recovery["tenants"],
+                    "hierarchies": self.recovery["hierarchies"],
+                    "updates": self.recovery["updates"],
+                    "mismatches": self.recovery["mismatches"],
+                    "poison_strikes": self.recovery["poison_strikes"],
+                })
         if path.exists():
             path.unlink()
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -132,13 +181,15 @@ class Server:
             self._journal.open()
             self._journal.append(
                 {"type": "serve-start", "pid": os.getpid(),
-                 "socket": str(path), "jobs": self.config.jobs}
+                 "socket": str(path), "jobs": self.config.jobs,
+                 "recovered": self.recovery is not None}
             )
 
     def install_signal_handlers(self) -> None:
         """SIGTERM/SIGINT → graceful drain (only from the main thread)."""
         def _on_signal(signum, frame):
             self._stopping.set()
+            self._closing.set()
 
         for sig in (signal.SIGTERM, signal.SIGINT):
             signal.signal(sig, _on_signal)
@@ -170,14 +221,22 @@ class Server:
     def stop(self) -> None:
         """Graceful stop for ``start()``-mode servers."""
         self._stopping.set()
-        for t in self._threads:
-            t.join(self.config.drain_timeout + 5.0)
+        # the shutdown ladder drains first, then sets _closing and closes
+        # the listening socket — which is what wakes the acceptor, so the
+        # joins afterwards are quick
         self._shutdown()
+        for t in self._threads:
+            t.join(5.0)
 
     # ------------------------------------------------------------- accept
 
     def _accept_loop(self) -> None:
-        while not self._stopping.is_set():
+        # runs until the socket actually closes, NOT until _stopping: a
+        # merely *draining* daemon must still accept connections so their
+        # requests get the typed shutting-down rejection — an acceptor
+        # that bails early strands backlogged clients with no answer at
+        # all until their own timeout
+        while not self._closing.is_set():
             try:
                 conn, _addr = self._sock.accept()
             except socket.timeout:
@@ -196,7 +255,20 @@ class Server:
         try:
             while True:
                 try:
-                    req = recv_msg(conn)
+                    req = recv_msg(conn, frame_timeout=self.config.frame_timeout)
+                except OSError:
+                    # shutdown closes connections under their blocked
+                    # readers; the EBADF/ECONNRESET is the close, not a bug
+                    return
+                except FrameTimeout as e:
+                    # the stalled client loses its *connection*, not the
+                    # daemon a reader thread — typed answer, then close
+                    self.counters["frame_timeouts"] += 1
+                    try:
+                        send_msg(conn, error_response(str(e), kind="FrameTimeout"))
+                    except OSError:
+                        pass
+                    return
                 except ProtocolError as e:
                     self.counters["protocol_errors"] += 1
                     try:
@@ -232,7 +304,10 @@ class Server:
         if self._stopping.is_set():
             self.counters["rejected_shutdown"] += 1
             return rejected_response("shutting-down")
-        pending = _Pending(req)
+        deadline = None
+        if req.get("deadline_ms") is not None:
+            deadline = time.monotonic() + req["deadline_ms"] / 1000.0
+        pending = _Pending(req, deadline)
         try:
             self._queue.put_nowait(pending)
         except queue.Full:
@@ -261,7 +336,8 @@ class Server:
                 self._inflight += len(batch)
             try:
                 responses = self.executor.execute_batch(
-                    [p.request for p in batch]
+                    [p.request for p in batch],
+                    deadlines=[p.deadline for p in batch],
                 )
             except Exception as e:  # noqa: BLE001 - keep the daemon alive
                 responses = [
@@ -269,6 +345,8 @@ class Server:
                     for _ in batch
                 ]
             for pending, response in zip(batch, responses):
+                if response.get("kind") == "DeadlineExceeded":
+                    self.counters["deadline_exceeded"] += 1
                 self._log_served(pending.request, response)
                 pending.resolve(response)
                 self.counters["completed"] += 1
@@ -310,7 +388,10 @@ class Server:
                 break
             self.counters["rejected_shutdown"] += 1
             pending.resolve(rejected_response("shutting-down"))
-        # 3. close the listening socket and every live connection
+        # 3. close the listening socket and every live connection; only
+        #    now does the acceptor stop (pending backlog entries get a
+        #    reset, which a retrying client treats as retryable)
+        self._closing.set()
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -327,13 +408,16 @@ class Server:
                 conn.close()
             except OSError:
                 pass
-        # 4. journal: final record, then close
+        # 4. journals: final record, then close (state journal too — a
+        #    clean SIGTERM exit leaves a scannable, digest-valid file)
         if self._journal is not None:
             with self._journal_lock:
                 self._journal.append(
                     {"type": "serve-end", **{k: v for k, v in self.counters.items()}}
                 )
                 self._journal.close()
+        if self._state_journal is not None:
+            self._state_journal.close()
         # 5. shm: unpublish the registry, then sweep anything registered
         #    by other components of this process
         self.executor.registry.close()
@@ -358,4 +442,6 @@ class Server:
             "hierarchy": self.executor.hierarchies.stats(),
             "graphs": self.executor.registry.resident(),
             "degradations": list(self.executor.registry.degradations),
+            "poison": self.executor.poison.stats(),
+            "recovery": self.recovery,
         }

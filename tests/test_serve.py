@@ -4,7 +4,9 @@ clean shutdown, and the loadtest harness."""
 from __future__ import annotations
 
 import json
+import math
 import os
+import re
 import signal
 import socket
 import struct
@@ -18,27 +20,34 @@ import pytest
 
 from repro import faultinject
 from repro.coarsen import multilevel as ml
+from repro.generators import corpus
 from repro.parallel import shm as shm_lifecycle
 from repro.parallel.pool import ExperimentTask, _execute
 from repro.parallel.session import SessionJournal
 from repro.serve import (
+    FrameTimeout,
     GraphRegistry,
     HierarchyCache,
+    PoisonTracker,
     ProtocolError,
     ServeClient,
+    ServeJournal,
     Server,
     ServerConfig,
+    recover_executor,
     recv_msg,
     send_msg,
     wait_for_server,
 )
 from repro.serve import protocol
-from repro.serve.executor import ServeExecutor, request_key
+from repro.serve.executor import MAX_IDEM_ENTRIES, ServeExecutor, request_key
+from repro.serve.journal import STATE_NAME, record_digest, request_digest
 from repro.serve.loadtest import (
     build_mix,
     compare_against,
     merge_bench_file,
     percentile,
+    run_loadtest,
 )
 from repro.serve.registry import hierarchy_key
 
@@ -527,27 +536,32 @@ class TestServer:
 # ------------------------------------------------- the real daemon
 
 
+def _spawn_daemon(dirpath, *extra, faults=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop(faultinject.ENV_VAR, None)
+    if faults:
+        env[faultinject.ENV_VAR] = faults
+    sock = Path(dirpath) / "daemon.sock"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--socket", str(sock),
+         "--log-dir", str(Path(dirpath) / "log"), "--drain-timeout", "8",
+         *extra],
+        cwd=REPO_ROOT, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    try:
+        wait_for_server(str(sock), timeout=60.0)
+    except TimeoutError:
+        proc.kill()
+        out, _ = proc.communicate(timeout=10)
+        raise AssertionError(f"daemon never came up:\n{out.decode()}")
+    return proc, str(sock)
+
+
 class TestDaemonProcess:
     def _spawn(self, tmp_path, *extra, faults=None):
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(REPO_ROOT / "src")
-        env.pop(faultinject.ENV_VAR, None)
-        if faults:
-            env[faultinject.ENV_VAR] = faults
-        sock = tmp_path / "daemon.sock"
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.serve", "--socket", str(sock),
-             "--log-dir", str(tmp_path / "log"), "--drain-timeout", "8", *extra],
-            cwd=REPO_ROOT, env=env,
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-        )
-        try:
-            wait_for_server(str(sock), timeout=60.0)
-        except TimeoutError:
-            proc.kill()
-            out, _ = proc.communicate(timeout=10)
-            raise AssertionError(f"daemon never came up:\n{out.decode()}")
-        return proc, str(sock)
+        return _spawn_daemon(tmp_path, *extra, faults=faults)
 
     def test_sigterm_drains_inflight_and_cleans_up(self, tmp_path):
         # the armed hang keeps one request in flight across the SIGTERM
@@ -667,3 +681,758 @@ class TestLoadtestHarness:
         entry = doc["configs"]["ppa,citation:n160:c4:j1"]
         assert entry["overall"]["p50_ms"] > 0
         assert entry["hierarchy"]["hit_rate"] > 0.9
+
+    def test_percentile_tiny_samples(self):
+        assert percentile([5.0], 99) == 5.0
+        assert percentile([1.0, 2.0], 50) == 1.0
+        assert percentile([1.0, 2.0], 99) == 2.0
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+        assert math.isnan(percentile([], 50))
+
+    def test_report_carries_n_and_error_kinds(self, server):
+        entry = run_loadtest(
+            server.config.socket_path, build_mix(3, ["ppa"]), clients=1
+        )
+        assert entry["outcomes"]["ok"] == 3
+        assert entry["error_kinds"] == {}
+        assert entry["overall"]["n"] == 3
+        assert entry["overall"]["n"] == entry["overall"]["count"]
+        for s in entry["ops"].values():
+            assert s["n"] == s["count"]
+
+
+# ------------------------------------------------- durable state journal
+
+
+class TestServeJournal:
+    def test_append_scan_roundtrip(self, tmp_path):
+        j = ServeJournal(tmp_path)
+        j.open()
+        assert j.append({"type": "tenant", "graph": "ppa", "seed": 0})
+        assert j.append({"type": "hierarchy",
+                         "key": ["ppa", 0, "gpu", "hec", "sort", False],
+                         "tape_sha": "ab" * 8})
+        j.close()
+        records, valid = ServeJournal.scan(tmp_path / STATE_NAME)
+        assert [r["type"] for r in records] == ["tenant", "hierarchy"]
+        assert [r["seq"] for r in records] == [0, 1]
+        assert valid == (tmp_path / STATE_NAME).stat().st_size
+        for r in records:
+            assert r["sha"] == record_digest(r)
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        j = ServeJournal(tmp_path)
+        j.open()
+        for i in range(3):
+            j.append({"type": "tenant", "graph": f"g{i}", "seed": 0})
+        j.close()
+        path = tmp_path / STATE_NAME
+        intact = path.stat().st_size
+        with open(path, "ab") as fh:
+            fh.write(b'{"seq":3,"type":"tenant"')  # torn mid-record
+        records, valid = ServeJournal.scan(path)
+        assert len(records) == 3
+        assert valid == intact
+        # reopening at the valid prefix drops the torn tail durably and
+        # the sequence continues where the valid prefix ended
+        j2 = ServeJournal(tmp_path)
+        j2.open(truncate_to=valid, seq=3)
+        j2.append({"type": "tenant", "graph": "g3", "seed": 0})
+        j2.close()
+        records, valid2 = ServeJournal.scan(path)
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert valid2 == path.stat().st_size
+
+    def test_digest_mismatch_stops_the_scan(self, tmp_path):
+        j = ServeJournal(tmp_path)
+        j.open()
+        for i in range(3):
+            j.append({"type": "tenant", "graph": f"g{i}", "seed": 0})
+        j.close()
+        path = tmp_path / STATE_NAME
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"g1"', b'"gX"')  # payload != sha
+        path.write_bytes(b"".join(lines))
+        records, valid = ServeJournal.scan(path)
+        assert len(records) == 1
+        assert valid == len(lines[0])
+
+    def test_write_failure_degrades_not_crashes(self, tmp_path, monkeypatch):
+        j = ServeJournal(tmp_path)
+        j.open()
+        assert j.append({"type": "tenant", "graph": "ppa", "seed": 0})
+
+        def boom(fd):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.serve.journal.os.fsync", boom)
+        with pytest.warns(RuntimeWarning, match="crash-recovered"):
+            assert not j.append({"type": "tenant", "graph": "x", "seed": 0})
+        assert j.disabled
+        assert j.write_failures == 1
+        # once degraded, appends are silent no-ops — the daemon keeps
+        # serving, it just lost crash coverage
+        assert not j.append({"type": "tenant", "graph": "y", "seed": 0})
+        j.close()
+        # the failed record's bytes landed before fsync blew up; only
+        # the *guarantee* is gone, not the prefix
+        records, _ = ServeJournal.scan(tmp_path / STATE_NAME)
+        assert len(records) == 2
+
+    def test_request_digest_ignores_delivery_metadata(self):
+        base = _req()
+        assert request_digest(base) == request_digest(
+            {**base, "idem": "a", "deadline_ms": 5}
+        )
+        assert request_digest(base) != request_digest(_req(k=4))
+
+    def test_poison_tracker_strikes_and_quarantine(self):
+        p = PoisonTracker(threshold=2)
+        assert p.strike("d1") == 1
+        assert not p.quarantined("d1")
+        assert p.strike("d1") == 2
+        assert p.quarantined("d1")
+        assert p.stats()["quarantined"] == ["d1"]
+        assert p.stats()["strikes"] == {"d1": 2}
+        assert PoisonTracker(threshold=0).threshold == 1
+
+
+# ------------------------------------------------------- warm restart
+
+
+def _journaled_executor(tmp_path, **kw):
+    ex = ServeExecutor(**kw)
+    j = ServeJournal(tmp_path)
+    j.open()
+    ex.attach_state_journal(j)
+    return ex, j
+
+
+class TestRecovery:
+    def test_warm_restart_byte_identical(self, tmp_path):
+        ex1, j1 = _journaled_executor(tmp_path)
+        try:
+            first = ex1.execute(_req())
+            assert first["meta"]["hierarchy"] == "build"
+            g, _spec = ex1.registry.graph("ppa", 0)
+            u, v = _new_edge_for(g)
+            upd = {"op": "update_graph", "graph": "ppa", "seed": 0,
+                   "add": [[u, v, 2.5]], "remove": [], "idem": "abc-1"}
+            r_upd = ex1.execute(upd)
+            assert r_upd["status"] == "ok"
+            r_k8 = ex1.execute(_req(k=8))
+            assert r_k8["meta"]["hierarchy"] == "hit"
+        finally:
+            j1.close()
+            ex1.registry.close()
+
+        ex2 = ServeExecutor()
+        try:
+            summary = recover_executor(ex2, tmp_path)
+            assert summary["tenants"] == 1
+            assert summary["hierarchies"] == 1
+            assert summary["updates"] == 1
+            assert summary["mismatches"] == []
+            assert summary["poison_strikes"] == []
+            assert summary["valid_bytes"] > 0
+            assert summary["next_seq"] == summary["records"]
+            # the recovered idempotency table answers the retry of the
+            # pre-crash update byte-identically, without re-applying it
+            mutations_before = ex2.registry.mutations
+            retry = ex2.execute(upd)
+            assert _canon(retry) == _canon(r_upd)
+            assert ex2.registry.mutations == mutations_before
+            # the rebuilt + re-patched hierarchy serves post-crash
+            # requests byte-identically, still as cache hits
+            after = ex2.execute(_req(k=8))
+            assert after["meta"]["hierarchy"] == "hit"
+            assert _canon(after["row"]) == _canon(r_k8["row"])
+            assert ex2.registry.is_mutated("ppa", 0)
+        finally:
+            ex2.registry.close()
+        _no_own_segments()
+
+    def test_tape_mismatch_evicts_and_reports(self, tmp_path):
+        ex1, j1 = _journaled_executor(tmp_path)
+        try:
+            assert ex1.execute(_req())["status"] == "ok"
+        finally:
+            j1.close()
+            ex1.registry.close()
+        # tamper the journaled tape digest (valid record sha, wrong tape)
+        path = tmp_path / STATE_NAME
+        records, _ = ServeJournal.scan(path)
+        key = None
+        lines = []
+        for rec in records:
+            rec = dict(rec)
+            if rec["type"] == "hierarchy":
+                key = tuple(rec["key"])
+                rec["tape_sha"] = "0" * 16
+                rec["sha"] = record_digest(rec)
+            lines.append(json.dumps(rec, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+        path.write_text("".join(lines))
+        assert key is not None
+
+        ex2 = ServeExecutor()
+        try:
+            summary = recover_executor(ex2, tmp_path)
+            assert summary["hierarchies"] == 0
+            assert summary["mismatches"] == [list(key)]
+            assert not ex2.hierarchies.peek(key)
+            # strict mode refuses to come up on a divergent rebuild
+            ex3 = ServeExecutor()
+            try:
+                with pytest.raises(RuntimeError, match="tape digest"):
+                    recover_executor(ex3, tmp_path, strict=True)
+            finally:
+                ex3.registry.close()
+            # the evicted entry is rebuilt fresh, never served stale
+            rebuilt = ex2.execute(_req())
+            assert rebuilt["status"] == "ok"
+            assert rebuilt["meta"]["hierarchy"] == "build"
+        finally:
+            ex2.registry.close()
+        _no_own_segments()
+
+    def test_dangling_exec_begin_strikes_and_quarantines(self, tmp_path):
+        digest = request_digest(_req(op="cluster"))
+        j = ServeJournal(tmp_path)
+        j.open()
+        j.append({"type": "tenant", "graph": "ppa", "seed": 0})
+        j.append({"type": "poison", "digest": digest})
+        j.append({"type": "exec-begin", "digest": digest, "op": "cluster"})
+        j.close()
+        ex = ServeExecutor()
+        try:
+            summary = recover_executor(ex, tmp_path)
+            assert summary["poison_strikes"] == [digest, digest]
+            assert ex.poison.quarantined(digest)  # threshold 2: 2 strikes
+            resp = ex.execute(_req(op="cluster"))
+            assert resp["status"] == "error"
+            assert resp["kind"] == "PoisonQuarantined"
+            # quarantine is per-request, not per-tenant: the graph serves
+            assert ex.execute(_req())["status"] == "ok"
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_skips_dead_hierarchies(self, tmp_path):
+        key = ["ppa", 0, "gpu", "hec", "sort", False]
+        j = ServeJournal(tmp_path)
+        j.open()
+        j.append({"type": "tenant", "graph": "ppa", "seed": 0})
+        j.append({"type": "hierarchy", "key": key, "tape_sha": "f" * 16})
+        j.append({"type": "hierarchy-drop", "key": key})
+        j.close()
+        ex = ServeExecutor()
+        try:
+            summary = recover_executor(ex, tmp_path)
+            assert summary["tenants"] == 1
+            assert summary["skipped"] == 1
+            assert summary["hierarchies"] == 0
+            assert summary["mismatches"] == []
+            assert ex.hierarchies.stats()["builds"] == 0  # no wasted rebuild
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_missing_journal_recovers_to_nothing(self, tmp_path):
+        ex = ServeExecutor()
+        try:
+            summary = recover_executor(ex, tmp_path)
+            assert summary == {
+                "records": 0, "valid_bytes": 0, "next_seq": 0,
+                "tenants": 0, "hierarchies": 0, "updates": 0,
+                "skipped": 0, "mismatches": [], "poison_strikes": [],
+            }
+        finally:
+            ex.registry.close()
+
+
+# --------------------------------------------- idempotency + quarantine
+
+
+class TestIdempotency:
+    def test_update_graph_applies_exactly_once(self):
+        ex = ServeExecutor()
+        try:
+            g, _spec = ex.registry.graph("ppa", 0)
+            u, v = _new_edge_for(g)
+            upd = {"op": "update_graph", "graph": "ppa", "seed": 0,
+                   "add": [[u, v, 2.5]], "remove": [], "idem": "once-1"}
+            first = ex.execute(upd)
+            assert first["status"] == "ok"
+            assert first["row"]["applied_adds"] == 1
+            assert ex.registry.mutations == 1
+            # the duplicate is answered from the idempotency table,
+            # byte-identically, without touching the graph again
+            dup = ex.execute(dict(upd))
+            assert _canon(dup) == _canon(first)
+            assert ex.registry.mutations == 1
+            # a different key is a different logical update: it executes
+            g2, _spec = ex.registry.graph("ppa", 0)
+            u2, v2 = _new_edge_for(g2)
+            fresh = ex.execute({"op": "update_graph", "graph": "ppa",
+                                "seed": 0, "add": [],
+                                "remove": [[u2, v2]], "idem": "once-2"})
+            assert fresh["status"] == "ok"
+            assert fresh["row"]["applied_removes"] == 0  # it really ran
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_idem_table_is_bounded(self):
+        ex = ServeExecutor()
+        try:
+            for i in range(MAX_IDEM_ENTRIES + 10):
+                ex.remember_idempotent(f"k{i}", {"status": "ok"})
+            assert len(ex._idem) == MAX_IDEM_ENTRIES
+            assert ex._idem_lookup("k0") is None
+            assert ex._idem_lookup(f"k{MAX_IDEM_ENTRIES + 9}") is not None
+        finally:
+            ex.registry.close()
+
+    def test_pooled_crash_is_typed_and_quarantines(self):
+        """A crashing pooled task never falls back in-process — it gets
+        the typed ExecutorCrash answer, accumulates strikes, and is
+        quarantined while everything else keeps serving."""
+        ex = ServeExecutor(jobs=2)
+        try:
+            faultinject.install("pool.worker:crash:graph=citation")
+            reqs = [_req(), _req(graph="citation")]
+            for r in reqs:
+                ex.registry.graph(r["graph"], r["seed"])
+            digest = request_digest(reqs[1])
+
+            resps = ex.execute_batch(list(reqs))
+            assert resps[0]["status"] == "ok"
+            assert resps[1]["status"] == "error"
+            assert resps[1]["kind"] == "ExecutorCrash"
+            assert ex.poison.strikes[digest] == 1
+
+            resps2 = ex.execute_batch(list(reqs))
+            assert resps2[1]["kind"] == "ExecutorCrash"
+            assert ex.poison.quarantined(digest)
+
+            resps3 = ex.execute_batch(list(reqs))
+            assert resps3[0]["status"] == "ok"
+            assert resps3[1]["kind"] == "PoisonQuarantined"
+        finally:
+            faultinject.clear()
+            ex.registry.close()
+        _no_own_segments()
+
+
+# ----------------------------------------------------------- deadlines
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_typed_error(self):
+        ex = ServeExecutor()
+        try:
+            resp = ex.execute(_req(), deadline=time.monotonic() - 0.001)
+            assert resp["status"] == "error"
+            assert resp["kind"] == "DeadlineExceeded"
+            assert ex.errors == 1
+            ok = ex.execute(_req(), deadline=time.monotonic() + 60.0)
+            assert ok["status"] == "ok"
+        finally:
+            ex.registry.close()
+        _no_own_segments()
+
+    def test_validate_idem_and_deadline_fields(self):
+        out = protocol.validate_request(
+            {"op": "partition", "graph": "ppa", "idem": "k-1",
+             "deadline_ms": 250})
+        assert out["idem"] == "k-1"
+        assert out["deadline_ms"] == 250
+        for bad in (
+            {"op": "update_graph", "graph": "ppa", "idem": ""},
+            {"op": "update_graph", "graph": "ppa", "idem": "x" * 201},
+            {"op": "update_graph", "graph": "ppa", "idem": 7},
+            {"op": "partition", "graph": "ppa", "deadline_ms": 0},
+            {"op": "partition", "graph": "ppa", "deadline_ms": True},
+            {"op": "partition", "graph": "ppa", "deadline_ms": "soon"},
+        ):
+            with pytest.raises(ProtocolError):
+                protocol.validate_request(bad)
+
+    def test_queued_request_expires_with_typed_answer(self, tmp_path):
+        """Queue time counts against the budget: a request whose
+        deadline lapses while an earlier request hogs the dispatcher is
+        answered DeadlineExceeded, never executed."""
+        srv = Server(ServerConfig(socket_path=str(tmp_path / "dl.sock"),
+                                  batch_max=1, drain_timeout=8.0))
+        faultinject.install("serve.exec:hang:sleep=1.5,times=1")
+        srv.start()
+        wait_for_server(srv.config.socket_path, timeout=10.0)
+        results = {}
+
+        def send(tag, req):
+            with ServeClient(srv.config.socket_path, timeout=60.0) as c:
+                results[tag] = c.request(req)
+
+        try:
+            t1 = threading.Thread(target=send, args=("hung", _req()))
+            t1.start()
+            deadline = time.monotonic() + 5.0
+            while srv._inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert srv._inflight == 1  # dispatcher is inside the hang
+            send("expired", _req(deadline_ms=200))
+            t1.join(30.0)
+            assert results["hung"]["status"] == "ok"
+            assert results["expired"]["status"] == "error"
+            assert results["expired"]["kind"] == "DeadlineExceeded"
+            assert srv.counters["deadline_exceeded"] == 1
+        finally:
+            srv.stop()
+        _no_own_segments()
+
+
+# ------------------------------------------------------- frame timeout
+
+
+class TestFrameTimeout:
+    def test_partial_frame_raises_frame_timeout(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00")  # 1 of 4 header bytes, then stall
+            t0 = time.monotonic()
+            with pytest.raises(FrameTimeout):
+                recv_msg(b, frame_timeout=0.3)
+            assert time.monotonic() - t0 < 5.0
+        finally:
+            a.close()
+            b.close()
+
+    def test_idle_wait_is_unbounded(self):
+        """The timer starts at the first byte, not at recv entry — an
+        idle keep-alive connection never times out."""
+        a, b = socket.socketpair()
+        msg = {"op": "ping"}
+
+        def late_send():
+            time.sleep(0.5)  # longer than the frame timeout below
+            send_msg(a, msg)
+
+        t = threading.Thread(target=late_send)
+        t.start()
+        try:
+            assert recv_msg(b, frame_timeout=0.2) == msg
+        finally:
+            t.join(5.0)
+            a.close()
+            b.close()
+
+    def test_frame_timeout_is_a_protocol_error(self):
+        assert issubclass(FrameTimeout, ProtocolError)
+
+    def test_server_answers_typed_and_drops_connection(self, tmp_path):
+        srv = Server(ServerConfig(socket_path=str(tmp_path / "ft.sock"),
+                                  frame_timeout=0.3, drain_timeout=5.0))
+        srv.start()
+        wait_for_server(srv.config.socket_path, timeout=10.0)
+        try:
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.settimeout(10.0)
+            raw.connect(srv.config.socket_path)
+            try:
+                raw.sendall(b"\x00\x00")  # 2 of 4 header bytes, stall
+                resp = recv_msg(raw)
+                assert resp["status"] == "error"
+                assert resp["kind"] == "FrameTimeout"
+                assert recv_msg(raw) is None  # connection was closed
+            finally:
+                raw.close()
+            assert srv.counters["frame_timeouts"] == 1
+            # the stalled client cost itself its connection, not the daemon
+            with ServeClient(srv.config.socket_path) as c:
+                assert c.request({"op": "ping"})["status"] == "ok"
+        finally:
+            srv.stop()
+        _no_own_segments()
+
+
+# ------------------------------------------------------ retrying client
+
+
+class TestRetryingClient:
+    def test_strict_client_raises_on_absent_daemon(self, tmp_path):
+        with pytest.raises(OSError):
+            ServeClient(str(tmp_path / "absent.sock"))
+
+    def test_retrying_client_defers_connection(self, tmp_path):
+        client = ServeClient(str(tmp_path / "late.sock"), retries=3,
+                             backoff_base=0.01, backoff_cap=0.05)
+        try:
+            with pytest.raises(OSError):
+                client.request({"op": "ping"})
+            assert client.retried == 3
+        finally:
+            client.close()
+
+    def test_deadline_budget_bounds_retries(self, tmp_path):
+        client = ServeClient(str(tmp_path / "absent.sock"), retries=50,
+                             backoff_base=0.05, backoff_cap=0.1,
+                             deadline=0.3)
+        t0 = time.monotonic()
+        try:
+            with pytest.raises((TimeoutError, OSError)):
+                client.request({"op": "ping"})
+            assert time.monotonic() - t0 < 5.0
+        finally:
+            client.close()
+
+    def test_reconnects_across_daemon_restart(self, tmp_path):
+        path = str(tmp_path / "restart.sock")
+        srv1 = Server(ServerConfig(socket_path=path, drain_timeout=5.0))
+        srv1.start()
+        wait_for_server(path, timeout=10.0)
+        holder = {}
+        client = ServeClient(path, retries=10, backoff_base=0.1,
+                             backoff_cap=1.0, timeout=30.0)
+        try:
+            assert client.request({"op": "ping"})["status"] == "ok"
+            srv1.stop()
+
+            def restart():
+                time.sleep(0.5)
+                srv2 = Server(ServerConfig(socket_path=path,
+                                           drain_timeout=5.0))
+                holder["srv"] = srv2.start()
+                # a second daemon generation on the same socket path
+
+            t = threading.Thread(target=restart)
+            t.start()
+            resp = client.request({"op": "ping"})
+            assert resp["status"] == "ok"
+            assert client.reconnects >= 1
+            t.join(10.0)
+        finally:
+            client.close()
+            if "srv" in holder:
+                holder["srv"].stop()
+        _no_own_segments()
+
+    def test_typed_rejection_retries_then_surfaces(self, server):
+        server._stopping.set()
+        with ServeClient(server.config.socket_path, retries=2,
+                         backoff_base=0.01, backoff_cap=0.02) as client:
+            resp = client.request(_req())
+            assert resp == {"status": "rejected", "reason": "shutting-down"}
+            assert client.retried == 2
+
+    def test_auto_idem_for_retried_updates(self, server):
+        g, _spec = corpus.load("ppa", 0)
+        u, v = _new_edge_for(g)
+        with ServeClient(server.config.socket_path, retries=2) as client:
+            resp = client.request({"op": "update_graph", "graph": "ppa",
+                                   "seed": 0, "remove": [[u, v]]})
+            assert resp["status"] == "ok"
+        idem_keys = list(server.executor._idem)
+        assert len(idem_keys) == 1
+        assert re.fullmatch(rf"c{os.getpid():x}-[0-9a-f]{{8}}-1", idem_keys[0])
+        # an explicit key is honoured untouched
+        with ServeClient(server.config.socket_path, retries=2) as client:
+            client.request({"op": "update_graph", "graph": "ppa", "seed": 0,
+                            "remove": [[u, v]], "idem": "explicit-1"})
+        assert "explicit-1" in server.executor._idem
+
+
+# -------------------------------------------- republish fault handling
+
+
+class TestReplaceGraphRepublish:
+    def test_republish_failure_unlinks_old_and_degrades_once(self):
+        ex = ServeExecutor()
+        try:
+            assert ex.execute(_req())["status"] == "ok"
+            entry = ex.registry._entries[("ppa", 0)]
+            old_name = entry["shm"].name
+            assert old_name in {s["name"]
+                                for s in shm_lifecycle.list_segments()}
+
+            g, _spec = ex.registry.graph("ppa", 0)
+            u, v = _new_edge_for(g)
+            faultinject.install("shm.publish:oserror:graph=ppa")
+            r1 = ex.execute({"op": "update_graph", "graph": "ppa", "seed": 0,
+                             "add": [[u, v, 2.5]], "remove": []})
+            assert r1["status"] == "ok"
+            # the pre-update segment is gone even though publishing the
+            # replacement failed — no orphan survives the swap
+            assert ex.registry._entries[("ppa", 0)]["shm"] is None
+            assert old_name not in {s["name"]
+                                    for s in shm_lifecycle.list_segments()}
+            assert len(ex.registry.degradations) == 1
+            assert ex.registry.degradations[0]["site"] == "serve.republish"
+
+            g2, _spec = ex.registry.graph("ppa", 0)
+            u2, v2 = _new_edge_for(g2)
+            r2 = ex.execute({"op": "update_graph", "graph": "ppa", "seed": 0,
+                             "add": [[u2, v2, 1.5]], "remove": []})
+            assert r2["status"] == "ok"
+            # a flaky /dev/shm is recorded once, not once per request
+            assert len(ex.registry.degradations) == 1
+            # the tenant still serves in-process
+            assert ex.execute(_req())["status"] == "ok"
+        finally:
+            faultinject.clear()
+            ex.registry.close()
+        _no_own_segments()
+
+
+# ------------------------------------------- SIGKILL + warm restart
+
+
+class TestCrashRecoveryDaemon:
+    def test_sigkill_recover_serves_byte_identical(self, tmp_path):
+        """The acceptance criterion: SIGKILL the daemon, restart with
+        --recover, and everything observable — registry tenants,
+        hierarchy-cache hits, response bytes, idempotent retries — is
+        indistinguishable from a daemon that never died."""
+        crash_dir = tmp_path / "crash"
+        crash_dir.mkdir()
+        ctl_dir = tmp_path / "ctl"
+        ctl_dir.mkdir()
+        g, _spec = corpus.load("ppa", 0)
+        u, v = _new_edge_for(g)
+        upd = {"op": "update_graph", "graph": "ppa", "seed": 0,
+               "add": [[u, v, 2.5]], "remove": [], "idem": "kill-1"}
+
+        proc1, sock = _spawn_daemon(crash_dir)
+        try:
+            with ServeClient(sock, timeout=120.0) as c:
+                pid1 = c.request({"op": "ping"})["pid"]
+                r_part = c.request(_req())
+                assert r_part["status"] == "ok"
+                r_upd = c.request(upd)
+                assert r_upd["status"] == "ok"
+            proc1.kill()  # SIGKILL: no drain, no cleanup ladder
+            assert proc1.wait(timeout=30) == -signal.SIGKILL
+        finally:
+            if proc1.poll() is None:
+                proc1.kill()
+                proc1.wait(timeout=10)
+        # the kill leaked the published tenant — its owner is dead
+        leaked = [s for s in shm_lifecycle.list_segments()
+                  if s["pid"] == pid1]
+        assert leaked, "expected the SIGKILL to leak the published segment"
+
+        proc2, sock2 = _spawn_daemon(
+            crash_dir, "--recover", str(crash_dir / "log"))
+        proc3 = None
+        try:
+            # recovery swept the dead owner's segments before republishing
+            assert [s for s in shm_lifecycle.list_segments()
+                    if s["pid"] == pid1] == []
+            with ServeClient(sock2, timeout=120.0) as c:
+                rec = c.request({"op": "status"})["recovery"]
+                assert rec["tenants"] == 1
+                assert rec["hierarchies"] == 1
+                assert rec["updates"] == 1
+                assert rec["mismatches"] == []
+                r2_retry = c.request(upd)
+                r2_k8 = c.request(_req(k=8))
+                r2_cluster = c.request(_req(op="cluster"))
+            # exactly-once across the crash: the retry is answered from
+            # the recovered idempotency table, byte-identically
+            assert _canon(r2_retry) == _canon(r_upd)
+            # bitwise hierarchy recovery: post-crash requests *hit* the
+            # rebuilt + re-patched cache
+            assert r2_k8["meta"]["hierarchy"] == "hit"
+
+            proc3, sock3 = _spawn_daemon(ctl_dir)
+            with ServeClient(sock3, timeout=120.0) as c:
+                assert _canon(c.request(_req())) == _canon(r_part)
+                assert c.request(upd)["status"] == "ok"
+                r3_k8 = c.request(_req(k=8))
+                r3_cluster = c.request(_req(op="cluster"))
+            # ...and they match an uninterrupted daemon byte for byte
+            assert _canon(r2_k8) == _canon(r3_k8)
+            assert _canon(r2_cluster) == _canon(r3_cluster)
+
+            for proc in (proc2, proc3):
+                proc.send_signal(signal.SIGTERM)
+                assert proc.wait(timeout=30) == 0
+        finally:
+            for proc in (proc2, proc3):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+        # the recovered run marked itself and journaled no duplicate update
+        records, _ = ServeJournal.scan(crash_dir / "log" / "state.jsonl")
+        types = [r["type"] for r in records]
+        assert "recovered" in types
+        assert types.count("update") == 1
+        leaked = [s for s in shm_lifecycle.list_segments()
+                  if s["pid"] in (pid1, proc2.pid, proc3.pid)]
+        assert leaked == [], leaked
+
+
+class TestSupervisor:
+    def test_crash_respawn_recover_and_quarantine(self, tmp_path):
+        """An armed executor crash kills the daemon mid-request; the
+        supervisor respawns it with --recover, the retrying client rides
+        the outage, the poisoned request is quarantined (typed error,
+        daemon survives), and the journaled update stays exactly-once."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env[faultinject.ENV_VAR] = "serve.exec:crash:op=cluster,times=1"
+        sock = tmp_path / "sup.sock"
+        log = tmp_path / "log"
+        sup = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "supervise",
+             "--socket", str(sock), "--log-dir", str(log),
+             "--drain-timeout", "8", "--poison-threshold", "1",
+             "--max-restarts", "2"],
+            cwd=REPO_ROOT, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        pid1 = pid2 = None
+        try:
+            wait_for_server(str(sock), timeout=60.0)
+            g, _spec = corpus.load("ppa", 0)
+            u, v = _new_edge_for(g)
+            upd = {"op": "update_graph", "graph": "ppa", "seed": 0,
+                   "add": [[u, v, 2.5]], "remove": [], "idem": "sup-1"}
+            with ServeClient(str(sock), timeout=120.0, retries=15,
+                             backoff_base=0.3, backoff_cap=2.0) as client:
+                pid1 = client.request({"op": "ping"})["pid"]
+                assert client.request(_req())["status"] == "ok"
+                r_upd = client.request(upd)
+                assert r_upd["status"] == "ok"
+                # the armed fault kills the daemon inside this request;
+                # the client retries through the respawn, and the
+                # recovered daemon (threshold 1) answers the typed
+                # quarantine instead of crashing again
+                r_cluster = client.request(_req(op="cluster",
+                                                graph="citation"))
+                assert r_cluster["status"] == "error"
+                assert r_cluster["kind"] == "PoisonQuarantined"
+                pid2 = client.request({"op": "ping"})["pid"]
+                assert pid2 != pid1
+                # the quarantine is contained: everything else serves,
+                # and the recovered hierarchy still hits
+                r_k8 = client.request(_req(k=8))
+                assert r_k8["status"] == "ok"
+                assert r_k8["meta"]["hierarchy"] == "hit"
+                # exactly-once across the crash
+                records, _ = ServeJournal.scan(log / "state.jsonl")
+                types = [r["type"] for r in records]
+                assert types.count("update") == 1
+                assert "recovered" in types
+                r_retry = client.request(upd)
+                assert _canon(r_retry) == _canon(r_upd)
+            sup.send_signal(signal.SIGTERM)
+            assert sup.wait(timeout=60) == 0
+            assert not sock.exists()
+        finally:
+            if sup.poll() is None:
+                sup.kill()
+                sup.wait(timeout=10)
+        leaked = [s for s in shm_lifecycle.list_segments()
+                  if s["pid"] in (pid1, pid2)]
+        assert leaked == [], leaked
